@@ -1,0 +1,326 @@
+// Package repro's benchmark harness: one benchmark per reproduced table and
+// figure (see DESIGN.md's per-experiment index), plus microbenchmarks for
+// the hot substrates (wire encoding, route synthesis, flooding).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ordering"
+	"repro/internal/policy"
+	"repro/internal/protocols/ecma"
+	"repro/internal/protocols/orwg"
+	"repro/internal/sim"
+	"repro/internal/synthesis"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+const benchSeed = 42
+
+// sink prevents dead-code elimination of table generation.
+var sink int
+
+// Table and figure benchmarks: each iteration regenerates the full
+// experiment, so ns/op is the cost of reproducing that result.
+
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.Table1DesignSpace(benchSeed).Rows)
+	}
+}
+
+func BenchmarkFigure1Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.Figure1Topology().Rows)
+	}
+}
+
+func BenchmarkE1RouteAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E1RouteAvailability(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE2Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E2Convergence(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE3SpanningTreeReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E3SpanningTreeReplication(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE4QOSScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E4QOSScaling(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE5SetupVsHandle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E5SetupVsHandle(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE6EGPTopologyRestriction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E6EGPTopologyRestriction(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE7SynthesisStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E7SynthesisStrategies(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE8PolicyGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E8PolicyGranularity(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE9MessageScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E9MessageScaling(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE10OrderingSatisfiability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E10OrderingSatisfiability(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE11FilterDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E11FilterDiscovery(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE12IDRPMultiRoute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E12IDRPMultiRoute(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE13TimeOfDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E13TimeOfDay(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE14PolicyChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E14PolicyChange(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE15LogicalClusterCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E15LogicalClusterCost(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE16DatabaseDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E16DatabaseDistribution(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE17SetupAmortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E17SetupAmortization(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE18PathStretch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E18PathStretch(benchSeed).Rows)
+	}
+}
+
+func BenchmarkE19MultihomedStubs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E19MultihomedStubs(benchSeed).Rows)
+	}
+}
+
+// Substrate microbenchmarks.
+
+func benchTopo() (*topology.Topology, *policy.DB) {
+	topo := topology.Generate(topology.Config{
+		Seed: benchSeed, Backbones: 2, RegionalsPerBackbone: 3,
+		CampusesPerParent: 3, LateralProb: 0.25, BypassProb: 0.1,
+	})
+	db := policy.Generate(topo.Graph, policy.GenConfig{
+		Seed: benchSeed + 1, SourceRestrictionProb: 0.5, SourceFraction: 0.5,
+	})
+	return topo, db
+}
+
+func BenchmarkWireLSAMarshal(b *testing.B) {
+	lsa := &wire.LSA{
+		Origin: 7, Seq: 3,
+		Links: []wire.LSALink{{Neighbor: 1, Cost: 2, Up: true}, {Neighbor: 5, Cost: 1, Up: true}},
+		Terms: []policy.Term{policy.OpenTerm(7, 1), policy.OpenTerm(7, 2)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += len(wire.Marshal(lsa))
+	}
+}
+
+func BenchmarkWireLSAUnmarshal(b *testing.B) {
+	lsa := &wire.LSA{
+		Origin: 7, Seq: 3,
+		Links: []wire.LSALink{{Neighbor: 1, Cost: 2, Up: true}},
+		Terms: []policy.Term{policy.OpenTerm(7, 1)},
+	}
+	buf := wire.Marshal(lsa)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := wire.Unmarshal(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += int(m.Type())
+	}
+}
+
+func BenchmarkSynthesisFindRoute(b *testing.B) {
+	topo, db := benchTopo()
+	reqs := core.AllPairsRequests(topo.Graph, true, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := reqs[i%len(reqs)]
+		res := synthesis.FindRoute(topo.Graph, db, req)
+		sink += res.Expanded
+	}
+}
+
+func BenchmarkSynthesisEnumerate(b *testing.B) {
+	topo, db := benchTopo()
+	reqs := core.AllPairsRequests(topo.Graph, true, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := reqs[i%len(reqs)]
+		sink += len(synthesis.EnumeratePaths(topo.Graph, db, req, synthesis.EnumerateConfig{MaxPaths: 16}))
+	}
+}
+
+func BenchmarkORWGConvergence(b *testing.B) {
+	topo, db := benchTopo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := orwg.New(topo.Graph.Clone(), db, orwg.Config{Seed: benchSeed})
+		conv, _ := sys.Converge(600 * sim.Second)
+		sink += int(conv)
+	}
+}
+
+func BenchmarkORWGEstablish(b *testing.B) {
+	topo, db := benchTopo()
+	sys := orwg.New(topo.Graph, db, orwg.Config{Seed: benchSeed})
+	sys.Converge(600 * sim.Second)
+	reqs := core.AllPairsRequests(topo.Graph, true, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sys.Establish(reqs[i%len(reqs)])
+		sink += int(res.Messages)
+	}
+}
+
+func BenchmarkOrderingFromLevels(b *testing.B) {
+	topo, _ := benchTopo()
+	g := topo.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := ordering.FromLevels(g)
+		sink += o.Len()
+	}
+}
+
+func BenchmarkOrderingNegotiate(b *testing.B) {
+	cons := make([]ordering.Constraint, 0, 120)
+	for i := 0; i < 40; i++ {
+		a := ad.ID(1 + (i*7)%60)
+		c := ad.ID(1 + (i*13)%60)
+		if a != c {
+			cons = append(cons, ordering.Constraint{Above: a, Below: c})
+			cons = append(cons, ordering.Constraint{Above: c, Below: a})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kept, _ := ordering.Negotiate(cons)
+		sink += len(kept)
+	}
+}
+
+// Paper-scale benchmarks: a ~350-AD internet (4 backbones, 16 regionals, 32
+// metros, ~300 campuses). The paper targets 10^5 ADs conceptually; these
+// benches demonstrate the simulator's headroom and the protocols' scaling
+// shape at laptop scale.
+
+func largeTopo() (*topology.Topology, *policy.DB) {
+	topo := topology.Generate(topology.Config{
+		Seed: benchSeed, Backbones: 4, RegionalsPerBackbone: 4,
+		MetrosPerRegional: 2, CampusesPerParent: 9,
+		LateralProb: 0.05, BypassProb: 0.02, BackboneChords: 2,
+	})
+	db := policy.Generate(topo.Graph, policy.GenConfig{
+		Seed: benchSeed + 1, SourceRestrictionProb: 0.3, SourceFraction: 0.5,
+	})
+	return topo, db
+}
+
+func BenchmarkLargeFloodingConvergence(b *testing.B) {
+	topo, db := largeTopo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := orwg.New(topo.Graph.Clone(), db, orwg.Config{Seed: benchSeed})
+		conv, ok := sys.Converge(600 * sim.Second)
+		if !ok {
+			b.Fatal("did not converge")
+		}
+		sink += int(conv)
+	}
+}
+
+func BenchmarkLargeECMAConvergence(b *testing.B) {
+	topo, db := largeTopo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := ecma.New(topo.Graph.Clone(), db, ecma.Config{Seed: benchSeed})
+		conv, ok := sys.Converge(600 * sim.Second)
+		if !ok {
+			b.Fatal("did not converge")
+		}
+		sink += int(conv)
+	}
+}
+
+func BenchmarkLargeSynthesis(b *testing.B) {
+	topo, db := largeTopo()
+	reqs := core.AllPairsRequests(topo.Graph, true, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := synthesis.FindRoute(topo.Graph, db, reqs[i%len(reqs)])
+		sink += res.Expanded
+	}
+}

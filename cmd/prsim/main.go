@@ -1,0 +1,164 @@
+// Command prsim runs one inter-AD routing architecture over a generated
+// topology and policy set, reports its convergence behaviour, and evaluates
+// route availability against the policy oracle.
+//
+// Usage:
+//
+//	prsim -proto orwg -seed 7 -restriction 0.6
+//	prsim -proto ecma -fail      # inject a link failure after convergence
+//	prsim -proto idrp -src 5 -dst 12   # trace one route
+//	prsim -scenario my.json      # run a declarative scenario file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/protocols/ecma"
+	"repro/internal/protocols/egp"
+	"repro/internal/protocols/filters"
+	"repro/internal/protocols/idrp"
+	"repro/internal/protocols/lshh"
+	"repro/internal/protocols/orwg"
+	"repro/internal/protocols/plaindv"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		proto        = flag.String("proto", "orwg", "protocol: plain-dv | egp | filters | ecma | bgp | idrp | idrp-multi | lshh | orwg")
+		seed         = flag.Int64("seed", 42, "seed for topology, policy, and simulation")
+		backbones    = flag.Int("backbones", 2, "backbone ADs")
+		regionals    = flag.Int("regionals", 3, "regionals per backbone")
+		campuses     = flag.Int("campuses", 3, "campuses per regional")
+		lateral      = flag.Float64("lateral", 0.25, "lateral link probability")
+		bypass       = flag.Float64("bypass", 0.10, "bypass link probability")
+		restriction  = flag.Float64("restriction", 0.5, "source-restriction probability for transit policies")
+		failLink     = flag.Bool("fail", false, "fail a single-homed stub uplink after convergence and reconverge")
+		src          = flag.Uint("src", 0, "trace a route from this AD (with -dst)")
+		dst          = flag.Uint("dst", 0, "trace a route to this AD (with -src)")
+		scenarioFile = flag.String("scenario", "", "run a declarative JSON scenario instead of flags")
+		trace        = flag.Bool("trace", false, "print every delivered protocol message")
+		workload     = flag.String("workload", "all-pairs", "traffic workload: all-pairs | uniform | zipf | gravity")
+		requests     = flag.Int("requests", 400, "workload length for sampled models")
+	)
+	flag.Parse()
+
+	if *scenarioFile != "" {
+		f, err := os.Open(*scenarioFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc, err := scenario.Load(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sc.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	topo := topology.Generate(topology.Config{
+		Seed:                 *seed,
+		Backbones:            *backbones,
+		RegionalsPerBackbone: *regionals,
+		CampusesPerParent:    *campuses,
+		LateralProb:          *lateral,
+		BypassProb:           *bypass,
+		MultihomedProb:       0.1,
+	})
+	g := topo.Graph
+	db := policy.Generate(g, policy.GenConfig{
+		Seed:                  *seed + 1,
+		SourceRestrictionProb: *restriction,
+		SourceFraction:        0.5,
+	})
+
+	var sys core.System
+	switch *proto {
+	case "plain-dv":
+		sys = plaindv.New(g, plaindv.Config{SplitHorizon: true, Seed: *seed})
+	case "egp":
+		sys = egp.New(g, egp.Config{Seed: *seed})
+	case "filters":
+		sys = filters.New(g, db, filters.Config{Seed: *seed})
+	case "ecma":
+		sys = ecma.New(g, db, ecma.Config{Seed: *seed})
+	case "bgp":
+		sys = idrp.New(g, db, idrp.Config{Seed: *seed, BGPMode: true})
+	case "idrp":
+		sys = idrp.New(g, db, idrp.Config{Seed: *seed})
+	case "idrp-multi":
+		sys = idrp.New(g, db, idrp.Config{Seed: *seed, MultiRoute: 4})
+	case "lshh":
+		sys = lshh.New(g, db, lshh.Config{Seed: *seed})
+	case "orwg":
+		sys = orwg.New(g, db, orwg.Config{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	if *trace {
+		sys.Network().Trace = func(format string, args ...interface{}) {
+			fmt.Printf("trace: "+format+"\n", args...)
+		}
+	}
+
+	fmt.Printf("topology: %d ADs, %d links (seed %d)\n", g.NumADs(), g.NumLinks(), *seed)
+	fmt.Printf("policy: %d terms, restriction %.2f\n\n", db.NumTerms(), *restriction)
+
+	oracle := core.Oracle{G: g, DB: db}
+	var reqs []policy.Request
+	if *workload == "all-pairs" {
+		reqs = core.AllPairsRequests(g, true, 0, 0)
+	} else {
+		reqs = trafficgen.Generate(g, trafficgen.Config{
+			Seed: *seed + 2, Requests: *requests, StubsOnly: true, Model: *workload,
+		})
+	}
+	m := core.RunScenario(sys, oracle, reqs, 600*sim.Second)
+	fmt.Println(m)
+
+	if *failLink {
+		victim := firstSingleHomedUplink(g)
+		fmt.Printf("\nfailing link %v-%v ...\n", victim.A, victim.B)
+		if f, ok := sys.(interface{ FailLink(a, b ad.ID) error }); ok {
+			if err := f.FailLink(victim.A, victim.B); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		conv, quiesced := sys.Converge(6000 * sim.Second)
+		fmt.Printf("reconverged at %v (quiesced: %v), total messages %d\n",
+			conv, quiesced, sys.Network().Stats.MessagesSent)
+	}
+
+	if *src != 0 && *dst != 0 {
+		req := policy.Request{Src: ad.ID(*src), Dst: ad.ID(*dst)}
+		out := sys.Route(req)
+		fmt.Printf("\nroute %v: path=%v delivered=%v looped=%v legal=%v\n",
+			req, out.Path, out.Delivered, out.Looped, oracle.Legal(out.Path, req))
+	}
+}
+
+func firstSingleHomedUplink(g *ad.Graph) ad.Link {
+	for _, info := range g.ADs() {
+		if info.Class == ad.Stub && g.Degree(info.ID) == 1 {
+			return g.IncidentLinks(info.ID)[0]
+		}
+	}
+	return g.Links()[0]
+}

@@ -1,0 +1,71 @@
+// Command topogen generates inter-AD topologies matching the paper's model
+// (§2.1) and exports them as DOT or JSON.
+//
+// Usage:
+//
+//	topogen -figure1 -format dot
+//	topogen -seed 7 -backbones 2 -regionals 3 -campuses 3 -lateral 0.25 -bypass 0.1 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		figure1    = flag.Bool("figure1", false, "emit the paper's Figure 1 example topology")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		backbones  = flag.Int("backbones", 2, "number of backbone ADs")
+		regionals  = flag.Int("regionals", 2, "regionals per backbone")
+		metros     = flag.Int("metros", 0, "metros per regional (0 = three-level hierarchy)")
+		campuses   = flag.Int("campuses", 3, "campuses per lowest transit AD")
+		lateral    = flag.Float64("lateral", 0.0, "lateral link probability")
+		bypass     = flag.Float64("bypass", 0.0, "bypass link probability")
+		multihomed = flag.Float64("multihomed", 0.0, "multi-homed stub probability")
+		hybrid     = flag.Float64("hybrid", 0.0, "hybrid (limited-transit) AD probability")
+		format     = flag.String("format", "dot", "output format: dot | json | stats")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	if *figure1 {
+		topo = topology.Figure1()
+	} else {
+		topo = topology.Generate(topology.Config{
+			Seed:                 *seed,
+			Backbones:            *backbones,
+			RegionalsPerBackbone: *regionals,
+			MetrosPerRegional:    *metros,
+			CampusesPerParent:    *campuses,
+			LateralProb:          *lateral,
+			BypassProb:           *bypass,
+			MultihomedProb:       *multihomed,
+			HybridProb:           *hybrid,
+		})
+	}
+
+	var err error
+	switch *format {
+	case "dot":
+		err = topology.WriteDOT(os.Stdout, topo.Graph)
+	case "json":
+		err = topology.WriteJSON(os.Stdout, topo.Graph)
+	case "stats":
+		s := topology.ComputeStats(topo.Graph)
+		fmt.Printf("ADs: %d\nlinks: %d\nconnected: %v\ntree: %v\navg degree: %.2f\n",
+			s.ADs, s.Links, s.Connected, s.Tree, s.AvgDegree)
+		fmt.Printf("by level: %v\nby class: %v\nby link class: %v\n",
+			s.ByLevel, s.ByClass, s.ByLinkClass)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/protocols/ecma"
+	"repro/internal/protocols/egp"
+	"repro/internal/protocols/filters"
+	"repro/internal/protocols/idrp"
+	"repro/internal/protocols/lshh"
+	"repro/internal/protocols/orwg"
+	"repro/internal/protocols/plaindv"
+)
+
+// TestConformanceAllProtocols runs the shared conformance suite over every
+// architecture at its capability level (the design space's own taxonomy:
+// policy-blind baselines, partially-capable designs, and the fully
+// source-specific ones).
+func TestConformanceAllProtocols(t *testing.T) {
+	core.RunConformance(t, "plain-dv", func(g *ad.Graph, db *policy.DB) core.System {
+		return plaindv.New(g, plaindv.Config{SplitHorizon: true, Seed: 1})
+	}, core.ConformanceConfig{Seed: 100, SupportsFailure: true})
+
+	core.RunConformance(t, "egp", func(g *ad.Graph, db *policy.DB) core.System {
+		return egp.New(g, egp.Config{Seed: 1})
+	}, core.ConformanceConfig{Seed: 200})
+
+	core.RunConformance(t, "filters", func(g *ad.Graph, db *policy.DB) core.System {
+		return filters.New(g, db, filters.Config{Seed: 1, MaxCandidates: 6})
+	}, core.ConformanceConfig{Seed: 300})
+
+	core.RunConformance(t, "ecma", func(g *ad.Graph, db *policy.DB) core.System {
+		return ecma.New(g, db, ecma.Config{Seed: 1})
+	}, core.ConformanceConfig{Seed: 400, PolicyAware: true, SupportsFailure: true})
+
+	core.RunConformance(t, "idrp", func(g *ad.Graph, db *policy.DB) core.System {
+		return idrp.New(g, db, idrp.Config{Seed: 1})
+	}, core.ConformanceConfig{Seed: 500, PolicyAware: true, SourceSpecific: true, SupportsFailure: true})
+
+	core.RunConformance(t, "bgp", func(g *ad.Graph, db *policy.DB) core.System {
+		return idrp.New(g, db, idrp.Config{Seed: 1, BGPMode: true})
+	}, core.ConformanceConfig{Seed: 600, PolicyAware: true, SupportsFailure: true})
+
+	core.RunConformance(t, "lshh", func(g *ad.Graph, db *policy.DB) core.System {
+		return lshh.New(g, db, lshh.Config{Seed: 1})
+	}, core.ConformanceConfig{Seed: 700, PolicyAware: true, SourceSpecific: true, SupportsFailure: true})
+
+	core.RunConformance(t, "orwg", func(g *ad.Graph, db *policy.DB) core.System {
+		return orwg.New(g, db, orwg.Config{Seed: 1})
+	}, core.ConformanceConfig{Seed: 800, PolicyAware: true, SourceSpecific: true, SupportsFailure: true})
+}

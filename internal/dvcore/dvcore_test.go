@@ -1,0 +1,149 @@
+package dvcore
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+func TestTableSetGet(t *testing.T) {
+	tbl := NewTable()
+	k := Key{Dest: 5, QOS: 1}
+	e := Entry{Key: k, Metric: 3, NextHop: 2}
+	if !tbl.Set(e) {
+		t.Error("first Set reported no change")
+	}
+	if tbl.Set(e) {
+		t.Error("identical Set reported change")
+	}
+	got, ok := tbl.Get(k)
+	if !ok || got != e {
+		t.Errorf("Get = %+v,%v", got, ok)
+	}
+	if _, ok := tbl.Get(Key{Dest: 9}); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	e.Metric = 4
+	if !tbl.Set(e) {
+		t.Error("metric change reported no change")
+	}
+}
+
+func TestTableDirtyTracking(t *testing.T) {
+	tbl := NewTable()
+	tbl.Set(Entry{Key: Key{Dest: 1}, Metric: 1, NextHop: 2})
+	tbl.Set(Entry{Key: Key{Dest: 3}, Metric: 1, NextHop: 2})
+	if !tbl.HasDirty() {
+		t.Error("HasDirty = false after sets")
+	}
+	dirty := tbl.TakeDirty()
+	if len(dirty) != 2 || dirty[0].Dest != 1 || dirty[1].Dest != 3 {
+		t.Errorf("dirty = %v", dirty)
+	}
+	if tbl.HasDirty() {
+		t.Error("dirty set not cleared")
+	}
+	// Unchanged set does not re-dirty.
+	tbl.Set(Entry{Key: Key{Dest: 1}, Metric: 1, NextHop: 2})
+	if tbl.HasDirty() {
+		t.Error("no-op Set dirtied the table")
+	}
+	// Delete dirties.
+	if !tbl.Delete(Key{Dest: 1}) {
+		t.Error("Delete existing = false")
+	}
+	if tbl.Delete(Key{Dest: 1}) {
+		t.Error("Delete absent = true")
+	}
+	if d := tbl.TakeDirty(); len(d) != 1 || d[0].Dest != 1 {
+		t.Errorf("dirty after delete = %v", d)
+	}
+}
+
+func TestTableEntriesSorted(t *testing.T) {
+	tbl := NewTable()
+	tbl.Set(Entry{Key: Key{Dest: 2, QOS: 1}, Metric: 1, NextHop: 9})
+	tbl.Set(Entry{Key: Key{Dest: 2, QOS: 0}, Metric: 1, NextHop: 9})
+	tbl.Set(Entry{Key: Key{Dest: 1, QOS: 3}, Metric: 1, NextHop: 9})
+	es := tbl.Entries()
+	if len(es) != 3 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	if es[0].Key != (Key{Dest: 1, QOS: 3}) || es[1].Key != (Key{Dest: 2, QOS: 0}) || es[2].Key != (Key{Dest: 2, QOS: 1}) {
+		t.Errorf("order = %v", es)
+	}
+}
+
+func TestViaNeighbor(t *testing.T) {
+	tbl := NewTable()
+	tbl.Set(Entry{Key: Key{Dest: 1}, NextHop: 7})
+	tbl.Set(Entry{Key: Key{Dest: 2}, NextHop: 8})
+	tbl.Set(Entry{Key: Key{Dest: 3, QOS: 1}, NextHop: 7})
+	ks := tbl.ViaNeighbor(7)
+	if len(ks) != 2 || ks[0].Dest != 1 || ks[1].Dest != 3 {
+		t.Errorf("ViaNeighbor = %v", ks)
+	}
+	if len(tbl.ViaNeighbor(99)) != 0 {
+		t.Error("ViaNeighbor(99) nonempty")
+	}
+}
+
+func TestNextHop(t *testing.T) {
+	tbl := NewTable()
+	tbl.Set(Entry{Key: Key{Dest: 1}, NextHop: 4})
+	if tbl.NextHop(Key{Dest: 1}) != 4 {
+		t.Error("NextHop wrong")
+	}
+	if tbl.NextHop(Key{Dest: 2}) != ad.Invalid {
+		t.Error("NextHop of absent key not Invalid")
+	}
+}
+
+func TestFollowNextHops(t *testing.T) {
+	// Tables: 1 -> 2 -> 3 (dest).
+	tables := map[ad.ID]*Table{
+		1: NewTable(), 2: NewTable(), 3: NewTable(),
+	}
+	k := Key{Dest: 3, QOS: policy.QOS(0)}
+	tables[1].Set(Entry{Key: k, NextHop: 2})
+	tables[2].Set(Entry{Key: k, NextHop: 3})
+	lookup := func(id ad.ID) *Table { return tables[id] }
+
+	path, delivered, looped := FollowNextHops(1, k, lookup)
+	if !delivered || looped || !path.Equal(ad.Path{1, 2, 3}) {
+		t.Errorf("delivered=%v looped=%v path=%v", delivered, looped, path)
+	}
+
+	// Loop: 2 points back at 1.
+	tables[2].Set(Entry{Key: k, NextHop: 1})
+	_, delivered, looped = FollowNextHops(1, k, lookup)
+	if delivered || !looped {
+		t.Errorf("loop not detected: delivered=%v looped=%v", delivered, looped)
+	}
+
+	// Black hole: 2 has no entry.
+	tables[2].Delete(k)
+	path, delivered, looped = FollowNextHops(1, k, lookup)
+	if delivered || looped {
+		t.Errorf("black hole misreported: delivered=%v looped=%v", delivered, looped)
+	}
+	if !path.Equal(ad.Path{1, 2}) {
+		t.Errorf("black hole path = %v", path)
+	}
+
+	// Missing table entirely.
+	_, delivered, looped = FollowNextHops(9, k, lookup)
+	if delivered || looped {
+		t.Error("missing table misreported")
+	}
+
+	// Already at destination.
+	path, delivered, _ = FollowNextHops(3, k, lookup)
+	if !delivered || !path.Equal(ad.Path{3}) {
+		t.Errorf("self delivery wrong: %v %v", path, delivered)
+	}
+}

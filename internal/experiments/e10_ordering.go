@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ad"
+	"repro/internal/metrics"
+	"repro/internal/ordering"
+)
+
+// E10OrderingSatisfiability quantifies §5.1.1's concern that "there may not
+// be a single partial ordering that simultaneously expresses the policies
+// of all ADS": random AD policy constraints (X must rank above Y) are tested
+// for joint satisfiability, and the central authority's negotiation cost is
+// measured as the number of constraints that must be dropped.
+func E10OrderingSatisfiability(seed int64) *metrics.Table {
+	const (
+		numADs = 60
+		trials = 200
+	)
+	t := metrics.NewTable("E10 — mutual satisfiability of topological policies",
+		"constraints", "satisfiable-frac", "mean-negotiation-rounds", "max-rounds", "kept-frac")
+	rng := rand.New(rand.NewSource(seed))
+	for _, k := range []int{10, 20, 40, 80, 160, 320} {
+		satisfiable := 0
+		totalRounds, maxRounds := 0, 0
+		totalKept := 0
+		for trial := 0; trial < trials; trial++ {
+			cons := randomConstraints(rng, numADs, k)
+			if ordering.Satisfiable(cons) {
+				satisfiable++
+			}
+			kept, rounds := ordering.Negotiate(cons)
+			totalRounds += rounds
+			if rounds > maxRounds {
+				maxRounds = rounds
+			}
+			totalKept += len(kept)
+		}
+		t.AddRow(fmt.Sprintf("%d", k),
+			float64(satisfiable)/float64(trials),
+			float64(totalRounds)/float64(trials),
+			maxRounds,
+			float64(totalKept)/float64(trials*k))
+	}
+	t.AddNote("%d ADs, %d trials per row; constraints drawn uniformly over ordered AD pairs", numADs, trials)
+	t.AddNote("negotiation = central authority drops conflicting policies until a single ordering exists")
+	return t
+}
+
+func randomConstraints(rng *rand.Rand, numADs, k int) []ordering.Constraint {
+	cons := make([]ordering.Constraint, 0, k)
+	for len(cons) < k {
+		a := ad.ID(1 + rng.Intn(numADs))
+		b := ad.ID(1 + rng.Intn(numADs))
+		if a != b {
+			cons = append(cons, ordering.Constraint{Above: a, Below: b})
+		}
+	}
+	return cons
+}

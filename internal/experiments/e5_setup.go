@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/protocols/orwg"
+	"repro/internal/wire"
+)
+
+// E5SetupVsHandle measures the ORWG data plane of §5.4.1: the one-time
+// setup latency, the per-packet header saved by handles versus full source
+// routes, and policy-gateway cache behaviour under bounded capacity.
+func E5SetupVsHandle(seed int64) *metrics.Table {
+	topo := defaultTopology(seed)
+	g := topo.Graph
+	db := restrictedPolicy(g, seed+1)
+	reqs := core.AllPairsRequests(g, true, 0, 0)
+
+	t := metrics.NewTable("E5 — ORWG setup vs handle forwarding",
+		"cache-cap", "flows", "setup-rtt-p50(ms)", "setup-rtt-p95(ms)",
+		"handle-hdr(B)", "srcroute-hdr(B)", "hdr-saving", "cache-hit", "evictions")
+
+	for _, capacity := range []int{0, 64, 16, 4} {
+		sys := orwg.New(g, db, orwg.Config{Seed: seed, CacheCapacity: capacity})
+		sys.Converge(convergenceLimit)
+
+		var rtts []float64
+		type flow struct {
+			src    ad.ID
+			handle uint64
+		}
+		var flows []flow
+		var srcrouteHdr, handleHdr float64
+		established := 0
+		for _, req := range reqs {
+			res := sys.Establish(req)
+			if !res.OK {
+				continue
+			}
+			established++
+			rtts = append(rtts, float64(res.RTT)/1000.0)
+			flows = append(flows, flow{src: req.Src, handle: res.Handle})
+			full := &wire.Data{Mode: wire.ModeSourceRoute, Req: req, Route: res.Path, Payload: nil}
+			hdl := &wire.Data{Mode: wire.ModeHandle, Handle: res.Handle}
+			srcrouteHdr += float64(full.HeaderLen())
+			handleHdr += float64(hdl.HeaderLen())
+		}
+		// Send two rounds of data over every flow (round-robin) to
+		// exercise the caches.
+		for round := 0; round < 2; round++ {
+			for _, f := range flows {
+				sys.SendData(f.src, f.handle, 64)
+			}
+		}
+		cs := sys.CacheStats()
+		hitRate := metrics.Ratio(float64(cs.Hits), float64(cs.Hits+cs.Misses))
+		s := metrics.Summarize(rtts)
+		t.AddRow(capLabel(capacity), established,
+			s.P50, s.P95,
+			handleHdr/float64(max(1, established)),
+			srcrouteHdr/float64(max(1, established)),
+			metrics.Ratio(srcrouteHdr, handleHdr),
+			hitRate, cs.Evictions)
+	}
+	t.AddNote("handle packets carry an 8-byte handle; source-route packets carry the full AD list + request")
+	t.AddNote("bounded PG caches evict LRU flows, whose packets are then dropped until re-setup (§6 state management)")
+	return t
+}
+
+func capLabel(c int) string {
+	if c == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", c)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/protocols/egp"
+	"repro/internal/topology"
+)
+
+// E6EGPTopologyRestriction quantifies §3's criticism of EGP. Initial
+// convergence is correct on any topology (reachability propagates
+// breadth-first), but EGP has no loop-robust route computation: after a
+// link failure a gateway falls back to any neighbor that ever advertised
+// the destination — possibly one whose reachability was derived from the
+// gateway itself — and the resulting forwarding loop is never detected.
+//
+// The experiment sweeps every possible single-link failure on a tree
+// topology and on the paper's cyclic topology (lateral + bypass links) and
+// counts how many failures leave persistent loops, how many pairs loop, and
+// how many deliveries are lost.
+func E6EGPTopologyRestriction(seed int64) *metrics.Table {
+	t := metrics.NewTable("E6 — EGP and the acyclic topology restriction",
+		"topology", "phase", "pairs", "delivered", "loops", "blackholes", "loop-inducing-failures")
+
+	evaluate := func(sys *egp.System, g *ad.Graph) (delivered, loops, holes int) {
+		for _, src := range g.IDs() {
+			for _, dst := range g.IDs() {
+				if src == dst {
+					continue
+				}
+				out := sys.Route(policy.Request{Src: src, Dst: dst})
+				switch {
+				case out.Delivered:
+					delivered++
+				case out.Looped:
+					loops++
+				default:
+					holes++
+				}
+			}
+		}
+		return
+	}
+
+	runTopology := func(name string, topo *topology.Topology) {
+		g := topo.Graph
+		n := g.NumADs()
+		pairs := n * (n - 1)
+
+		base := egp.New(g.Clone(), egp.Config{Seed: seed})
+		base.Converge(convergenceLimit)
+		d0, l0, h0 := evaluate(base, g)
+		t.AddRow(name, "initial", pairs, d0, l0, h0, "-")
+
+		// Sweep every single-link failure on a fresh system, in both
+		// deployment styles: static (no fallback — blackholes) and
+		// adaptive (fallback — loops).
+		for _, mode := range []struct {
+			label      string
+			noFallback bool
+		}{{"post-failure static", true}, {"post-failure adaptive", false}} {
+			totalD, totalL, totalH := 0, 0, 0
+			loopInducing := 0
+			links := g.Links()
+			for _, victim := range links {
+				sys := egp.New(g.Clone(), egp.Config{Seed: seed, NoFallback: mode.noFallback})
+				sys.Converge(convergenceLimit)
+				_ = sys.FailLink(victim.A, victim.B)
+				sys.Converge(10 * convergenceLimit)
+				d, l, h := evaluate(sys, g)
+				totalD += d
+				totalL += l
+				totalH += h
+				if l > 0 {
+					loopInducing++
+				}
+			}
+			t.AddRow(name, mode.label, pairs,
+				totalD/len(links), totalL/len(links), totalH/len(links),
+				formatFrac(loopInducing, len(links)))
+		}
+	}
+
+	treeTopo := topology.Generate(topology.Config{Seed: seed})
+	if !treeTopo.Graph.IsTree() {
+		panic("experiments: default hierarchy is not a tree")
+	}
+	runTopology("tree", treeTopo)
+	runTopology("mesh", topology.Generate(topology.Config{Seed: seed, LateralProb: 0.4, BypassProb: 0.2}))
+
+	t.AddNote("each post-failure row averages over every possible single-link failure (fresh system per failure)")
+	t.AddNote("static EGP never loops but never adapts (blackholes, even where the mesh has a legal detour)")
+	t.AddNote("adaptive fallback forms persistent undetectable loops — the dilemma behind the acyclic restriction (§3)")
+	return t
+}
+
+func formatFrac(a, b int) string {
+	return fmt.Sprintf("%d/%d", a, b)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/synthesis"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+// E7SynthesisStrategies explores the route-synthesis tradeoff the paper
+// flags as its principal open issue (§5.4.1, §6): full precomputation is
+// intractable at scale, pure on-demand computation adds setup latency, and
+// a hybrid "should be used". We sweep internet size and serve a skewed
+// workload (a hot set of repeated requests plus a cold tail) through each
+// strategy.
+func E7SynthesisStrategies(seed int64) *metrics.Table {
+	t := metrics.NewTable("E7 — route synthesis strategies",
+		"ADs", "strategy", "precompute-work", "ondemand-work", "hit-rate", "fail", "table-size")
+
+	for _, size := range []struct {
+		regionals, campuses int
+	}{{2, 2}, {3, 3}, {4, 5}} {
+		topo := topology.Generate(topology.Config{
+			Seed:                 seed,
+			Backbones:            2,
+			RegionalsPerBackbone: size.regionals,
+			CampusesPerParent:    size.campuses,
+			LateralProb:          0.2,
+			BypassProb:           0.1,
+		})
+		g := topo.Graph
+		db := policy.Generate(g, policy.GenConfig{
+			Seed: seed + 1, SourceRestrictionProb: 0.4, SourceFraction: 0.5,
+		})
+
+		// Workload: a Zipf-skewed stub traffic matrix (most requests
+		// concentrate on few pairs), as inter-AD traffic does.
+		all := core.AllPairsRequests(g, true, 0, 0)
+		workload := trafficgen.Generate(g, trafficgen.Config{
+			Seed: seed + 2, Requests: 400, StubsOnly: true,
+			Model: "zipf", ZipfS: 1.4,
+		})
+		// The hybrid strategy's hot set: the workload's busiest pairs.
+		hot := hottestRequests(workload, len(all)/5+1)
+
+		var stubs []ad.ID
+		for _, info := range g.ADs() {
+			if info.Class == ad.Stub || info.Class == ad.MultihomedStub {
+				stubs = append(stubs, info.ID)
+			}
+		}
+		strategies := []synthesis.Strategy{
+			synthesis.NewPrecomputed(g, db, all), // precompute everything
+			synthesis.NewOnDemand(g, db),
+			synthesis.NewHybrid(g, db, hot),
+			synthesis.NewPruned(g, db, stubs, 3), // §5.4.1 pruning heuristic
+		}
+		for _, st := range strategies {
+			for _, req := range workload {
+				st.Route(req)
+			}
+			stats := st.Stats()
+			t.AddRow(fmt.Sprintf("%d", g.NumADs()), st.Name(),
+				stats.PrecomputeExpansions, stats.OnDemandExpansions,
+				metrics.Ratio(float64(stats.Hits), float64(stats.Hits+stats.Misses)),
+				stats.Failures, stats.CacheEntries)
+		}
+	}
+	t.AddNote("work = search-state expansions; workload = 400 Zipf-skewed requests (skew: busiest decile carries most traffic)")
+	t.AddNote("precompute-everything pays the full cost up front and grows fastest with internet size (§5.4.1)")
+	return t
+}
+
+// hottestRequests returns up to n requests covering the workload's most
+// frequent (src,dst,qos,uci) contexts, for seeding precomputation.
+func hottestRequests(workload []policy.Request, n int) []policy.Request {
+	type key struct {
+		src, dst ad.ID
+		qos      policy.QOS
+		uci      policy.UCI
+	}
+	counts := map[key]int{}
+	rep := map[key]policy.Request{}
+	for _, r := range workload {
+		k := key{r.Src, r.Dst, r.QOS, r.UCI}
+		counts[k]++
+		rep[k] = r
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	if n > len(keys) {
+		n = len(keys)
+	}
+	out := make([]policy.Request, 0, n)
+	for _, k := range keys[:n] {
+		out = append(out, rep[k])
+	}
+	return out
+}

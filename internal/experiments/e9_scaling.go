@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/protocols/ecma"
+	"repro/internal/protocols/idrp"
+	"repro/internal/protocols/lshh"
+	"repro/internal/protocols/orwg"
+	"repro/internal/protocols/plaindv"
+	"repro/internal/topology"
+)
+
+// E9MessageScaling sweeps internet size and measures the protocol traffic
+// required to reach initial convergence — the scaling dimension of §2.2.
+// Link-state flooding costs O(N·E) message copies; distance-vector costs
+// grow with table size times churn; path-vector updates additionally carry
+// full AD paths and policy attributes (larger bytes per message).
+func E9MessageScaling(seed int64) *metrics.Table {
+	t := metrics.NewTable("E9 — convergence traffic vs internet size",
+		"ADs", "links", "protocol", "messages", "bytes", "conv-time")
+	sizes := []topology.Config{
+		{Seed: seed, Backbones: 1, RegionalsPerBackbone: 2, CampusesPerParent: 2, LateralProb: 0.15},
+		{Seed: seed, Backbones: 2, RegionalsPerBackbone: 3, CampusesPerParent: 3, LateralProb: 0.15, BypassProb: 0.1},
+		{Seed: seed, Backbones: 3, RegionalsPerBackbone: 4, CampusesPerParent: 4, LateralProb: 0.1, BypassProb: 0.05},
+		{Seed: seed, Backbones: 4, RegionalsPerBackbone: 4, MetrosPerRegional: 2, CampusesPerParent: 3, LateralProb: 0.05, BypassProb: 0.05},
+	}
+	for _, cfg := range sizes {
+		topo := topology.Generate(cfg)
+		g := topo.Graph
+		db := policy.Generate(g, policy.GenConfig{Seed: seed + 1, SourceRestrictionProb: 0.3, SourceFraction: 0.5})
+		systems := []core.System{
+			plaindv.New(g.Clone(), plaindv.Config{SplitHorizon: true, Seed: seed}),
+			ecma.New(g.Clone(), db, ecma.Config{Seed: seed}),
+			idrp.New(g.Clone(), db, idrp.Config{Seed: seed}),
+			lshh.New(g.Clone(), db, lshh.Config{Seed: seed}),
+			orwg.New(g.Clone(), db, orwg.Config{Seed: seed}),
+		}
+		for _, sys := range systems {
+			conv, _ := sys.Converge(convergenceLimit)
+			st := sys.Network().Stats
+			t.AddRow(fmt.Sprintf("%d", g.NumADs()), g.NumLinks(), sys.Name(),
+				st.MessagesSent, st.BytesSent, conv.String())
+		}
+	}
+	t.AddNote("initial convergence from cold start; traffic measured on marshalled wire bytes")
+	return t
+}

@@ -1,0 +1,80 @@
+// Package experiments implements the reproduction harness: one function per
+// table/figure/claim of Breslau & Estrin (SIGCOMM 1990), each returning a
+// rendered result table. The per-experiment index lives in DESIGN.md; the
+// recorded outcomes in EXPERIMENTS.md.
+//
+// All experiments are deterministic in their seed. cmd/experiments runs them
+// all; bench_test.go wraps each as a benchmark.
+package experiments
+
+import (
+	"repro/internal/ad"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// convergenceLimit bounds every protocol run.
+const convergenceLimit = 600 * sim.Second
+
+// failer is implemented by every system that supports failure injection.
+type failer interface {
+	FailLink(a, b ad.ID) error
+}
+
+// defaultTopology builds the common evaluation internet used by T1/E1: two
+// backbones, three regionals each, three campuses per regional, with
+// lateral, bypass, and multi-homing structure per the paper's model.
+func defaultTopology(seed int64) *topology.Topology {
+	return topology.Generate(topology.Config{
+		Seed:                 seed,
+		Backbones:            2,
+		RegionalsPerBackbone: 3,
+		CampusesPerParent:    3,
+		LateralProb:          0.25,
+		BypassProb:           0.10,
+		MultihomedProb:       0.15,
+		HybridProb:           0.15,
+	})
+}
+
+// restrictedPolicy builds the moderately restricted policy regime used by
+// the headline comparisons.
+func restrictedPolicy(g *ad.Graph, seed int64) *policy.DB {
+	return policy.Generate(g, policy.GenConfig{
+		Seed:                  seed,
+		SourceRestrictionProb: 0.6,
+		SourceFraction:        0.5,
+		DestRestrictionProb:   0.2,
+		DestFraction:          0.7,
+		AvoidProb:             0.2,
+	})
+}
+
+// All runs every experiment with the given seed.
+func All(seed int64) []*metrics.Table {
+	return []*metrics.Table{
+		Table1DesignSpace(seed),
+		Figure1Topology(),
+		E1RouteAvailability(seed),
+		E2Convergence(seed),
+		E3SpanningTreeReplication(seed),
+		E4QOSScaling(seed),
+		E5SetupVsHandle(seed),
+		E6EGPTopologyRestriction(seed),
+		E7SynthesisStrategies(seed),
+		E8PolicyGranularity(seed),
+		E9MessageScaling(seed),
+		E10OrderingSatisfiability(seed),
+		E11FilterDiscovery(seed),
+		E12IDRPMultiRoute(seed),
+		E13TimeOfDay(seed),
+		E14PolicyChange(seed),
+		E15LogicalClusterCost(seed),
+		E16DatabaseDistribution(seed),
+		E17SetupAmortization(seed),
+		E18PathStretch(seed),
+		E19MultihomedStubs(seed),
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import "testing"
+
+func TestE13TimeOfDay(t *testing.T) {
+	tbl := E13TimeOfDay(seed)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (3-hour steps)", len(tbl.Rows))
+	}
+	byHour := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byHour[row[0]] = row
+	}
+	// During business hours traffic to d1 uses the cheap windowed
+	// transit; at night it shifts to the expensive always-on one.
+	if byHour["12:00"][1] != "day" {
+		t.Errorf("noon d1 via %s, want day", byHour["12:00"][1])
+	}
+	if byHour["03:00"][1] != "allday" {
+		t.Errorf("3am d1 via %s, want allday", byHour["03:00"][1])
+	}
+	// d1 stays legal around the clock.
+	for _, row := range tbl.Rows {
+		if row[2] != "true" {
+			t.Errorf("hour %s: d1 not delivered legally", row[0])
+		}
+	}
+	// d2 is reachable only in the night window.
+	if byHour["03:00"][3] != "true" || byHour["03:00"][4] != "true" {
+		t.Errorf("3am d2 row = %v, want reachable", byHour["03:00"])
+	}
+	if byHour["12:00"][3] != "false" || byHour["12:00"][4] != "false" {
+		t.Errorf("noon d2 row = %v, want unreachable", byHour["12:00"])
+	}
+	// Protocol behaviour must match the oracle at every hour.
+	for _, row := range tbl.Rows {
+		if row[3] != row[4] {
+			t.Errorf("hour %s: delivered=%s but routable=%s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestE15LogicalClusterCost(t *testing.T) {
+	tbl := E15LogicalClusterCost(seed)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	// With no source restrictions, one regime per transit: clusters ==
+	// transits and no extra addresses.
+	if first[1] != first[3] {
+		t.Errorf("unrestricted: clusters %s != transits %s", first[3], first[1])
+	}
+	// Heavy restriction multiplies logical clusters and replicated FIBs.
+	if parseFloat(t, last[3]) <= parseFloat(t, first[3]) {
+		t.Error("clusters did not grow with restriction")
+	}
+	if parseFloat(t, last[5]) <= parseFloat(t, first[5]) {
+		t.Error("replicated FIB rows did not grow")
+	}
+	// ORWG's LSDB grows far more slowly than replicated FIB rows.
+	fibGrowth := parseFloat(t, last[5]) / parseFloat(t, first[5])
+	lsdbGrowth := parseFloat(t, last[6]) / parseFloat(t, first[6])
+	if lsdbGrowth >= fibGrowth {
+		t.Errorf("LSDB growth %.2f not below FIB replication growth %.2f", lsdbGrowth, fibGrowth)
+	}
+}
+
+func TestE14PolicyChange(t *testing.T) {
+	tbl := E14PolicyChange(seed)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	established := parseFloat(t, tbl.Rows[0][1])
+	afterChange := parseFloat(t, tbl.Rows[1][1])
+	afterResetup := parseFloat(t, tbl.Rows[2][1])
+	if established == 0 {
+		t.Fatal("no flows established")
+	}
+	if afterChange >= established {
+		t.Errorf("policy restriction tore down nothing: %v -> %v", established, afterChange)
+	}
+	if afterResetup <= afterChange {
+		t.Errorf("re-setup recovered nothing: %v -> %v", afterChange, afterResetup)
+	}
+	// The policy change itself must be far cheaper than establishing all
+	// flows (the paper's slow-change operating assumption).
+	setupMsgs := parseFloat(t, tbl.Rows[0][2])
+	changeMsgs := parseFloat(t, tbl.Rows[1][2])
+	if changeMsgs >= setupMsgs {
+		t.Errorf("policy change cost %v >= full setup cost %v", changeMsgs, setupMsgs)
+	}
+}
+
+func TestE16DatabaseDistribution(t *testing.T) {
+	tbl := E16DatabaseDistribution(seed)
+	byKey := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// Tree scoping saves traffic at initial convergence.
+	classicMsgs := parseFloat(t, byKey["classic-flood/initial"][2])
+	treeMsgs := parseFloat(t, byKey["tree-scoped/initial"][2])
+	if treeMsgs >= classicMsgs {
+		t.Errorf("tree scoping saved nothing: %v >= %v", treeMsgs, classicMsgs)
+	}
+	// Both reach complete LSDBs initially.
+	for _, k := range []string{"classic-flood/initial", "tree-scoped/initial"} {
+		if byKey[k][5] != "0" {
+			t.Errorf("%s: stale LSDBs at start: %s", k, byKey[k][5])
+		}
+	}
+	// After an on-tree failure classic reconverges; tree-scoped strands.
+	if byKey["classic-flood/post-failure"][5] != "0" {
+		t.Errorf("classic flooding left stale LSDBs: %s", byKey["classic-flood/post-failure"][5])
+	}
+	if parseFloat(t, byKey["tree-scoped/post-failure"][5]) == 0 {
+		t.Error("tree scoping stranded nobody — the robustness cost did not appear")
+	}
+}
+
+func TestE17SetupAmortization(t *testing.T) {
+	tbl := E17SetupAmortization(seed)
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Single packet: setup overhead makes handles more expensive.
+	if tbl.Rows[0][4] != "false" {
+		t.Error("handle plane should lose at 1 packet")
+	}
+	// Long-lived routes: handles win, and the ratio decreases
+	// monotonically toward the asymptotic header saving.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[4] != "true" {
+		t.Error("handle plane should win at 1000 packets")
+	}
+	var prev float64 = 1 << 30
+	for _, row := range tbl.Rows {
+		r := parseFloat(t, row[3])
+		if r >= prev {
+			t.Errorf("ratio not decreasing: %v after %v", r, prev)
+		}
+		prev = r
+	}
+	if parseFloat(t, last[3]) >= 1 {
+		t.Error("asymptotic ratio not below 1")
+	}
+}
+
+func TestE18PathStretch(t *testing.T) {
+	tbl := E18PathStretch(seed)
+	byProto := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byProto[row[0]] = row
+	}
+	// Consistent source-side synthesis is cost-optimal.
+	for _, p := range []string{"orwg", "ls-hop-by-hop"} {
+		if s := parseFloat(t, byProto[p][2]); s != 1 {
+			t.Errorf("%s stretch = %v, want exactly 1", p, s)
+		}
+	}
+	// The inconsistent ablation pays stretch.
+	if s := parseFloat(t, byProto["lshh-inconsistent"][2]); s <= 1 {
+		t.Errorf("lshh-inconsistent stretch = %v, want > 1", s)
+	}
+	// No protocol beats the oracle.
+	for p, row := range byProto {
+		if parseFloat(t, row[2]) < 1-1e-9 {
+			t.Errorf("%s stretch below 1 — oracle or cost accounting broken", p)
+		}
+	}
+}
+
+func TestE19MultihomedStubs(t *testing.T) {
+	tbl := E19MultihomedStubs(seed)
+	byProto := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byProto[row[0]] = row
+	}
+	// Policy-blind baselines cut through multi-homed stubs.
+	blindThrough := parseFloat(t, byProto["plain-dv"][2]) + parseFloat(t, byProto["egp"][2])
+	if blindThrough == 0 {
+		t.Error("policy-blind baselines never cut through a multi-homed stub — scenario too easy")
+	}
+	// Policy-aware designs never do.
+	for _, p := range []string{"ecma", "idrp", "ls-hop-by-hop", "orwg"} {
+		if byProto[p][2] != "0" {
+			t.Errorf("%s transited a multi-homed stub %s times", p, byProto[p][2])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("b", 2.5)
+	tbl.AddNote("seed=%d", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "note: seed=42") {
+		t.Error("note missing")
+	}
+	// Column alignment: header and separator lines equal length.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header/separator misaligned: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestTableEmptyTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x")
+	if strings.Contains(tbl.String(), "==") {
+		t.Error("empty title rendered")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 < 3.8 || s.P95 > 4 {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Error("empty summary count nonzero")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.Mean != 7 {
+		t.Errorf("single-sample summary = %+v", one)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("div by zero not guarded")
+	}
+}

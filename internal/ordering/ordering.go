@@ -1,0 +1,269 @@
+// Package ordering implements the global partial ordering of ADs used by
+// the ECMA (NIST) proposal to express policy in the topology (paper §5.1.1).
+//
+// Every inter-AD link is labelled "up" or "down" according to the relative
+// position of its endpoints in the ordering. The forwarding rule — once a
+// packet (or routing update) traverses a down link it may never traverse
+// another up link — prevents loops and the count-to-infinity phenomenon.
+//
+// The package also implements the paper's satisfiability concern: the
+// policies of all ADs may not be expressible in any single partial ordering,
+// in which case a central authority must negotiate policy relaxation
+// (experiment E10).
+package ordering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ad"
+)
+
+// Direction labels a link traversal relative to the partial ordering.
+type Direction uint8
+
+const (
+	// Up is a traversal toward an AD higher in the ordering.
+	Up Direction = iota
+	// Down is a traversal toward an AD lower in the ordering.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Ordering assigns each AD a rank; higher rank is higher in the hierarchy.
+// Ranks are strict (no two ADs share one) so every link has a definite
+// direction, which the ECMA design requires for the up/down labelling.
+type Ordering struct {
+	rank map[ad.ID]int64
+}
+
+// Rank returns the rank of id (0 if unknown).
+func (o Ordering) Rank(id ad.ID) int64 { return o.rank[id] }
+
+// Len returns the number of ranked ADs.
+func (o Ordering) Len() int { return len(o.rank) }
+
+// Direction returns the direction of travelling from one AD to an adjacent
+// AD: Up when the target ranks higher.
+func (o Ordering) Direction(from, to ad.ID) Direction {
+	if o.rank[to] > o.rank[from] {
+		return Up
+	}
+	return Down
+}
+
+// UpDownValid reports whether path obeys the ECMA forwarding rule: after
+// the first down traversal, no up traversal may occur.
+func (o Ordering) UpDownValid(path ad.Path) bool {
+	seenDown := false
+	for i := 1; i < len(path); i++ {
+		switch o.Direction(path[i-1], path[i]) {
+		case Down:
+			seenDown = true
+		case Up:
+			if seenDown {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Strict reports whether no two ADs in ids share a rank.
+func (o Ordering) Strict(ids []ad.ID) bool {
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		r := o.rank[id]
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+// FromLevels derives the natural ordering from the topology hierarchy:
+// backbones above regionals above metros above campuses, with AD ID as a
+// deterministic tie-break within a level. This is the ordering a central
+// authority would compute for a purely hierarchical internet.
+func FromLevels(g *ad.Graph) Ordering {
+	o := Ordering{rank: make(map[ad.ID]int64, g.NumADs())}
+	for _, info := range g.ADs() {
+		major := int64(3 - int64(info.Level)) // campus=0 ... backbone=3
+		o.rank[info.ID] = major<<33 - int64(info.ID)
+	}
+	return o
+}
+
+// Constraint requires Above to rank strictly higher than Below. ADs express
+// their topological policies to the central authority as such constraints
+// (e.g. "my provider must be above me", "that AD must not receive my
+// updates from above").
+type Constraint struct {
+	Above, Below ad.ID
+}
+
+// String implements fmt.Stringer.
+func (c Constraint) String() string { return fmt.Sprintf("%v>%v", c.Above, c.Below) }
+
+// FromConstraints attempts to build an ordering satisfying every
+// constraint. It reports false when the constraints are cyclic, i.e. not
+// mutually satisfiable in any single partial ordering — the failure mode
+// the paper warns about (§5.1.1).
+//
+// Ranks are assigned by longest-path layering of the constraint DAG;
+// unconstrained ADs from universe get distinct ranks below all constrained
+// ones.
+func FromConstraints(universe []ad.ID, cons []Constraint) (Ordering, bool) {
+	// Build the constraint digraph Above -> Below.
+	succ := make(map[ad.ID][]ad.ID)
+	indeg := make(map[ad.ID]int)
+	nodes := make(map[ad.ID]bool)
+	for _, c := range cons {
+		if c.Above == c.Below {
+			return Ordering{}, false
+		}
+		succ[c.Above] = append(succ[c.Above], c.Below)
+		indeg[c.Below]++
+		nodes[c.Above] = true
+		nodes[c.Below] = true
+	}
+	// Kahn's algorithm with deterministic order.
+	var frontier []ad.ID
+	for id := range nodes {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	layer := make(map[ad.ID]int64, len(nodes))
+	processed := 0
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, id := range frontier {
+			processed++
+			for _, below := range succ[id] {
+				if layer[id]+1 > layer[below] {
+					layer[below] = layer[id] + 1
+				}
+				indeg[below]--
+				if indeg[below] == 0 {
+					next = append(next, below)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	if processed != len(nodes) {
+		return Ordering{}, false // cycle
+	}
+	// Convert layers (0 = top) into ranks (higher = top), ID tie-break.
+	var maxLayer int64
+	for _, l := range layer {
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	o := Ordering{rank: make(map[ad.ID]int64, len(universe))}
+	for id := range nodes {
+		o.rank[id] = (maxLayer-layer[id]+1)<<33 - int64(id)
+	}
+	for _, id := range universe {
+		if !nodes[id] {
+			o.rank[id] = -int64(id) // below all constrained ADs
+		}
+	}
+	return o, true
+}
+
+// findCycle returns one directed cycle in the constraint graph as a list of
+// constraint indices, or nil if acyclic.
+func findCycle(cons []Constraint) []int {
+	// adjacency with constraint indices
+	adj := make(map[ad.ID][]int)
+	for i, c := range cons {
+		adj[c.Above] = append(adj[c.Above], i)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ad.ID]int)
+	parentEdge := make(map[ad.ID]int)
+	var cycle []int
+	var dfs func(u ad.ID) bool
+	dfs = func(u ad.ID) bool {
+		color[u] = gray
+		for _, ei := range adj[u] {
+			v := cons[ei].Below
+			switch color[v] {
+			case white:
+				parentEdge[v] = ei
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a cycle: walk back from u to v.
+				cycle = append(cycle, ei)
+				for x := u; x != v; {
+					pe := parentEdge[x]
+					cycle = append(cycle, pe)
+					x = cons[pe].Above
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	var nodes []ad.ID
+	for id := range adj {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, u := range nodes {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Negotiate simulates the central authority's conflict-resolution process:
+// while the constraint set is cyclic, one constraint on a detected cycle is
+// dropped (the highest-index one, i.e. most recently registered policy
+// loses). It returns the satisfiable subset and the number of negotiation
+// rounds (dropped constraints).
+func Negotiate(cons []Constraint) (kept []Constraint, rounds int) {
+	kept = append([]Constraint(nil), cons...)
+	for {
+		cycle := findCycle(kept)
+		if cycle == nil {
+			return kept, rounds
+		}
+		drop := cycle[0]
+		for _, i := range cycle {
+			if i > drop {
+				drop = i
+			}
+		}
+		kept = append(kept[:drop], kept[drop+1:]...)
+		rounds++
+	}
+}
+
+// Satisfiable reports whether the constraint set admits a single partial
+// ordering.
+func Satisfiable(cons []Constraint) bool {
+	_, ok := FromConstraints(nil, cons)
+	return ok
+}

@@ -1,0 +1,235 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/topology"
+)
+
+func TestFromLevels(t *testing.T) {
+	topo := topology.Figure1()
+	o := FromLevels(topo.Graph)
+	if o.Len() != topo.Graph.NumADs() {
+		t.Fatalf("Len = %d, want %d", o.Len(), topo.Graph.NumADs())
+	}
+	if !o.Strict(topo.Graph.IDs()) {
+		t.Error("ordering not strict")
+	}
+	// Backbones rank above regionals, which rank above campuses.
+	bb := topo.ByLevel[ad.Backbone][0]
+	reg := topo.ByLevel[ad.Regional][0]
+	cam := topo.ByLevel[ad.Campus][0]
+	if o.Rank(bb) <= o.Rank(reg) || o.Rank(reg) <= o.Rank(cam) {
+		t.Errorf("ranks: bb=%d reg=%d cam=%d", o.Rank(bb), o.Rank(reg), o.Rank(cam))
+	}
+	if o.Direction(cam, reg) != Up || o.Direction(reg, cam) != Down {
+		t.Error("Direction wrong for hierarchical link")
+	}
+}
+
+func TestUpDownValid(t *testing.T) {
+	topo := topology.Figure1()
+	o := FromLevels(topo.Graph)
+	bb := topo.ByLevel[ad.Backbone]
+	reg := topo.ByLevel[ad.Regional]
+	cam := topo.ByLevel[ad.Campus]
+	// campus -> regional -> backbone -> regional -> campus: up,up,down,down = valid.
+	valley := ad.Path{cam[0], reg[0], bb[0], reg[1], cam[2]}
+	if !o.UpDownValid(valley) {
+		t.Error("valley-free path rejected")
+	}
+	// campus -> regional -> campus -> regional: down then up = invalid.
+	bad := ad.Path{reg[0], cam[0], reg[0]} // down then up (also a loop)
+	if o.UpDownValid(bad) {
+		t.Error("up-after-down path accepted")
+	}
+	// Pure up and pure down paths are valid.
+	if !o.UpDownValid(ad.Path{cam[0], reg[0], bb[0]}) {
+		t.Error("pure up path rejected")
+	}
+	if !o.UpDownValid(ad.Path{bb[0], reg[0], cam[0]}) {
+		t.Error("pure down path rejected")
+	}
+	// Single node and empty paths are trivially valid.
+	if !o.UpDownValid(ad.Path{cam[0]}) || !o.UpDownValid(nil) {
+		t.Error("trivial paths rejected")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Error("Direction.String wrong")
+	}
+}
+
+func TestFromConstraintsSimple(t *testing.T) {
+	cons := []Constraint{{Above: 1, Below: 2}, {Above: 2, Below: 3}}
+	o, ok := FromConstraints([]ad.ID{1, 2, 3, 4}, cons)
+	if !ok {
+		t.Fatal("satisfiable set reported unsatisfiable")
+	}
+	if o.Rank(1) <= o.Rank(2) || o.Rank(2) <= o.Rank(3) {
+		t.Errorf("ranks violate constraints: 1=%d 2=%d 3=%d", o.Rank(1), o.Rank(2), o.Rank(3))
+	}
+	// Unconstrained AD 4 ranks below constrained ones.
+	if o.Rank(4) >= o.Rank(3) {
+		t.Errorf("unconstrained AD 4 rank %d >= AD3 rank %d", o.Rank(4), o.Rank(3))
+	}
+}
+
+func TestFromConstraintsCycle(t *testing.T) {
+	cons := []Constraint{{Above: 1, Below: 2}, {Above: 2, Below: 3}, {Above: 3, Below: 1}}
+	if _, ok := FromConstraints(nil, cons); ok {
+		t.Error("cyclic constraints reported satisfiable")
+	}
+	if Satisfiable(cons) {
+		t.Error("Satisfiable(cycle) = true")
+	}
+	if !Satisfiable(cons[:2]) {
+		t.Error("Satisfiable(chain) = false")
+	}
+	// Self-constraint is trivially unsatisfiable.
+	if Satisfiable([]Constraint{{Above: 7, Below: 7}}) {
+		t.Error("self-constraint satisfiable")
+	}
+}
+
+func TestFromConstraintsDiamond(t *testing.T) {
+	// 1 above 2 and 3; both above 4. Must be satisfiable with 1 on top.
+	cons := []Constraint{
+		{Above: 1, Below: 2}, {Above: 1, Below: 3},
+		{Above: 2, Below: 4}, {Above: 3, Below: 4},
+	}
+	o, ok := FromConstraints(nil, cons)
+	if !ok {
+		t.Fatal("diamond unsatisfiable")
+	}
+	for _, c := range cons {
+		if o.Rank(c.Above) <= o.Rank(c.Below) {
+			t.Errorf("constraint %v violated: %d <= %d", c, o.Rank(c.Above), o.Rank(c.Below))
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cons := []Constraint{
+		{Above: 1, Below: 2}, {Above: 2, Below: 3}, {Above: 3, Below: 1}, // cycle
+		{Above: 4, Below: 5}, // independent
+	}
+	kept, rounds := Negotiate(cons)
+	if rounds != 1 {
+		t.Errorf("rounds = %d, want 1", rounds)
+	}
+	if len(kept) != 3 {
+		t.Errorf("kept %d constraints, want 3", len(kept))
+	}
+	if !Satisfiable(kept) {
+		t.Error("negotiated set unsatisfiable")
+	}
+	// Acyclic input: nothing dropped.
+	kept, rounds = Negotiate(cons[:2])
+	if rounds != 0 || len(kept) != 2 {
+		t.Errorf("acyclic negotiation: rounds=%d kept=%d", rounds, len(kept))
+	}
+	// Empty input.
+	kept, rounds = Negotiate(nil)
+	if rounds != 0 || len(kept) != 0 {
+		t.Errorf("empty negotiation: rounds=%d kept=%d", rounds, len(kept))
+	}
+}
+
+func TestNegotiateManyCycles(t *testing.T) {
+	// Two disjoint 2-cycles: exactly two rounds.
+	cons := []Constraint{
+		{Above: 1, Below: 2}, {Above: 2, Below: 1},
+		{Above: 3, Below: 4}, {Above: 4, Below: 3},
+	}
+	kept, rounds := Negotiate(cons)
+	if rounds != 2 {
+		t.Errorf("rounds = %d, want 2", rounds)
+	}
+	if !Satisfiable(kept) {
+		t.Error("result unsatisfiable")
+	}
+}
+
+func TestNegotiateAlwaysTerminatesAndSatisfies(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		var cons []Constraint
+		for i := 0; i < rng.Intn(60); i++ {
+			a := ad.ID(1 + rng.Intn(n))
+			b := ad.ID(1 + rng.Intn(n))
+			if a != b {
+				cons = append(cons, Constraint{Above: a, Below: b})
+			}
+		}
+		kept, rounds := Negotiate(cons)
+		if !Satisfiable(kept) {
+			t.Fatalf("trial %d: negotiated set still unsatisfiable", trial)
+		}
+		if rounds != len(cons)-len(kept) {
+			t.Fatalf("trial %d: rounds %d != dropped %d", trial, rounds, len(cons)-len(kept))
+		}
+	}
+}
+
+func TestUpDownLoopsAreMountains(t *testing.T) {
+	// The up/down rule does not forbid every closed walk by itself: a
+	// walk may climb and descend back ("mountain"). What it guarantees —
+	// and what gives ECMA its convergence behaviour — is that any closed
+	// walk passing the rule consists of a strictly ascending phase
+	// followed by a strictly descending phase. Such walks cannot sustain
+	// count-to-infinity because routing updates never cycle among peers:
+	// the distance metric strictly increases along each phase.
+	topo := topology.Generate(topology.Config{Seed: 4, LateralProb: 0.3, BypassProb: 0.2})
+	g := topo.Graph
+	o := FromLevels(g)
+	rng := rand.New(rand.NewSource(5))
+	ids := g.IDs()
+	loops, mountains := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		start := ids[rng.Intn(len(ids))]
+		path := ad.Path{start}
+		cur := start
+		for step := 0; step < 6; step++ {
+			nbrs := g.Neighbors(cur)
+			if len(nbrs) == 0 {
+				break
+			}
+			cur = nbrs[rng.Intn(len(nbrs))]
+			path = append(path, cur)
+			if cur == start && len(path) > 2 {
+				loops++
+				if o.UpDownValid(path) {
+					mountains++
+					// Verify the mountain shape: ranks strictly
+					// rise to a single peak then strictly fall.
+					peak := 0
+					for i := 1; i < len(path); i++ {
+						if o.Rank(path[i]) > o.Rank(path[peak]) {
+							peak = i
+						}
+					}
+					for i := 1; i <= peak; i++ {
+						if o.Rank(path[i]) <= o.Rank(path[i-1]) {
+							t.Errorf("valid loop %v not ascending before peak", path)
+						}
+					}
+					for i := peak + 1; i < len(path); i++ {
+						if o.Rank(path[i]) >= o.Rank(path[i-1]) {
+							t.Errorf("valid loop %v not descending after peak", path)
+						}
+					}
+				}
+				break
+			}
+		}
+	}
+	if loops == 0 {
+		t.Skip("random walks found no loops; topology too sparse for this seed")
+	}
+}

@@ -1,0 +1,51 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// ExampleTerm_Permits shows the full constraint vocabulary of a Policy Term
+// (paper §5.4.1): source, destination, previous/next AD, service class,
+// user class, and time of day all gate the traversal.
+func ExampleTerm_Permits() {
+	term := policy.Term{
+		Advertiser: 5,
+		Sources:    policy.SetOf(1),                      // only AD1's traffic
+		Dests:      policy.Universal(),                   // to anywhere
+		PrevADs:    policy.Universal(),                   // entering from anyone
+		NextADs:    policy.SetOf(9),                      // but exiting only toward AD9
+		QOS:        policy.ClassSetOf(0),                 // best-effort only
+		UCI:        policy.AllClasses,                    // any user class
+		Hours:      policy.HourWindow{Start: 8, End: 18}, // business hours
+		Cost:       2,
+	}
+	daytime := policy.Request{Src: 1, Dst: 12, QOS: 0, Hour: 10}
+	night := policy.Request{Src: 1, Dst: 12, QOS: 0, Hour: 23}
+	otherSource := policy.Request{Src: 3, Dst: 12, QOS: 0, Hour: 10}
+
+	fmt.Println(term.Permits(daytime, 4, 9))
+	fmt.Println(term.Permits(night, 4, 9))
+	fmt.Println(term.Permits(otherSource, 4, 9))
+	fmt.Println(term.Permits(daytime, 4, 7)) // wrong next hop
+	// Output:
+	// true
+	// false
+	// false
+	// false
+}
+
+// ExampleDB_PathLegal evaluates a whole AD path: every transit AD on the
+// path must advertise a permitting term; endpoints need none.
+func ExampleDB_PathLegal() {
+	db := policy.NewDB()
+	db.Add(policy.OpenTerm(2, 0)) // AD2 is an open transit
+	req := policy.Request{Src: 1, Dst: 3}
+	fmt.Println(db.PathLegal(ad.Path{1, 2, 3}, req)) // via the transit
+	fmt.Println(db.PathLegal(ad.Path{1, 4, 3}, req)) // AD4 advertises nothing
+	// Output:
+	// true
+	// false
+}

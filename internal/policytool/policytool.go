@@ -1,0 +1,141 @@
+// Package policytool implements the network-management capability the paper
+// lists among its open issues (§6): "it will be imperative for these
+// administrators to have available network management tools to assist them
+// in predicting the impact of their policies on the service received from
+// the routing architecture."
+//
+// Assess compares the internet's routing behaviour before and after a
+// proposed policy change at one AD: which source/destination pairs gain or
+// lose legal routes, how the AD's transit load shifts, and how route
+// synthesis cost changes.
+package policytool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/synthesis"
+)
+
+// PairChange records a traffic pair whose best legal route changed.
+type PairChange struct {
+	Req policy.Request
+	// Before and After are the best legal paths (nil when none).
+	Before, After ad.Path
+}
+
+// Impact is the predicted effect of replacing one AD's policy terms.
+type Impact struct {
+	// AD is the AD whose policy is being changed.
+	AD ad.ID
+	// Requests is the evaluated traffic population size.
+	Requests int
+	// Gained lists pairs that acquire a legal route; Lost lists pairs
+	// that lose theirs.
+	Gained, Lost []PairChange
+	// Rerouted lists pairs that keep connectivity but shift paths.
+	Rerouted []PairChange
+	// TransitBefore / TransitAfter count best routes crossing the AD —
+	// the traffic the AD invites or sheds with its policy.
+	TransitBefore, TransitAfter int
+	// WorkBefore / WorkAfter are total synthesis expansions over the
+	// request population — the route-computation load the policy causes.
+	WorkBefore, WorkAfter int
+	// TermsBefore / TermsAfter count the AD's policy terms (flooding
+	// footprint).
+	TermsBefore, TermsAfter int
+}
+
+// ConnectivityDelta is Gained minus Lost.
+func (im Impact) ConnectivityDelta() int { return len(im.Gained) - len(im.Lost) }
+
+// Assess evaluates replacing adID's terms with newTerms over the given
+// traffic population. The input database is not modified.
+func Assess(g *ad.Graph, db *policy.DB, adID ad.ID, newTerms []policy.Term, reqs []policy.Request) Impact {
+	after := db.WithTerms(adID, newTerms)
+	im := Impact{
+		AD:          adID,
+		Requests:    len(reqs),
+		TermsBefore: len(db.Terms(adID)),
+		TermsAfter:  len(after.Terms(adID)),
+	}
+	for _, req := range reqs {
+		rb := synthesis.FindRoute(g, db, req)
+		ra := synthesis.FindRoute(g, after, req)
+		im.WorkBefore += rb.Expanded
+		im.WorkAfter += ra.Expanded
+		if rb.Found && isTransit(rb.Path, adID) {
+			im.TransitBefore++
+		}
+		if ra.Found && isTransit(ra.Path, adID) {
+			im.TransitAfter++
+		}
+		switch {
+		case !rb.Found && ra.Found:
+			im.Gained = append(im.Gained, PairChange{Req: req, After: ra.Path})
+		case rb.Found && !ra.Found:
+			im.Lost = append(im.Lost, PairChange{Req: req, Before: rb.Path})
+		case rb.Found && ra.Found && !rb.Path.Equal(ra.Path):
+			im.Rerouted = append(im.Rerouted, PairChange{Req: req, Before: rb.Path, After: ra.Path})
+		}
+	}
+	return im
+}
+
+// isTransit reports whether id appears strictly inside path.
+func isTransit(path ad.Path, id ad.ID) bool {
+	for i := 1; i < len(path)-1; i++ {
+		if path[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Report writes a human-readable impact summary.
+func (im Impact) Report(w io.Writer) error {
+	var b []byte
+	p := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	p("policy impact assessment for %v over %d requests\n", im.AD, im.Requests)
+	p("  terms:        %d -> %d\n", im.TermsBefore, im.TermsAfter)
+	p("  transit load: %d -> %d routed pairs cross %v\n", im.TransitBefore, im.TransitAfter, im.AD)
+	p("  synthesis:    %d -> %d expansions across the population\n", im.WorkBefore, im.WorkAfter)
+	p("  connectivity: +%d gained, -%d lost, %d rerouted\n", len(im.Gained), len(im.Lost), len(im.Rerouted))
+	show := func(label string, changes []PairChange, limit int) {
+		if len(changes) == 0 {
+			return
+		}
+		p("  %s:\n", label)
+		sorted := append([]PairChange(nil), changes...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Req.Src != sorted[j].Req.Src {
+				return sorted[i].Req.Src < sorted[j].Req.Src
+			}
+			return sorted[i].Req.Dst < sorted[j].Req.Dst
+		})
+		for i, c := range sorted {
+			if i == limit {
+				p("    ... and %d more\n", len(sorted)-limit)
+				break
+			}
+			switch {
+			case c.Before == nil:
+				p("    %v gains %v\n", c.Req, c.After)
+			case c.After == nil:
+				p("    %v loses %v\n", c.Req, c.Before)
+			default:
+				p("    %v moves %v -> %v\n", c.Req, c.Before, c.After)
+			}
+		}
+	}
+	show("lost", im.Lost, 10)
+	show("gained", im.Gained, 10)
+	show("rerouted", im.Rerouted, 10)
+	_, err := w.Write(b)
+	return err
+}

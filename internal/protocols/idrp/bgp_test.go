@@ -1,0 +1,69 @@
+package idrp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func TestBGPModeViolatesSourcePolicy(t *testing.T) {
+	// The paper's footnote on BGP (RFC 1163): it cannot express source
+	// specific policies. In BGP mode the source-restricted cheap transit
+	// is used by everyone — including the excluded source.
+	g, s1, s2, t1, t2, d := twoTransitNet(t)
+	db := policy.NewDB()
+	term1 := policy.OpenTerm(t1, 0)
+	term1.Sources = policy.SetOf(s1)
+	term1.Cost = 1
+	db.Add(term1)
+	term2 := policy.OpenTerm(t2, 0)
+	term2.Cost = 50
+	db.Add(term2)
+
+	bgp := New(g, db, Config{BGPMode: true})
+	if bgp.Name() != "bgp" {
+		t.Fatalf("name = %q", bgp.Name())
+	}
+	bgp.Converge(seconds(300))
+	oracle := core.Oracle{G: g, DB: db}
+
+	// s2's traffic is delivered via the forbidden t1 — a policy
+	// violation the IDRP attributes would have prevented.
+	out := bgp.Route(policy.Request{Src: s2, Dst: d})
+	if !out.Delivered {
+		t.Fatalf("bgp did not deliver: %+v", out)
+	}
+	if !out.Path.Contains(t1) {
+		t.Fatalf("bgp path %v does not use the cheap transit", out.Path)
+	}
+	if oracle.Legal(out.Path, policy.Request{Src: s2, Dst: d}) {
+		t.Error("path through source-restricted transit reported legal — oracle broken")
+	}
+
+	// IDRP with attributes drops or detours the same traffic instead.
+	idrp := New(g, db, Config{})
+	idrp.Converge(seconds(300))
+	out2 := idrp.Route(policy.Request{Src: s2, Dst: d})
+	if out2.Delivered && out2.Path.Contains(t1) {
+		t.Error("idrp delivered through the forbidden transit")
+	}
+}
+
+func TestBGPModeStillLoopFree(t *testing.T) {
+	// Path information keeps BGP loop-free even without policy
+	// attributes.
+	g, s1, s2, _, _, d := twoTransitNet(t)
+	db := policy.OpenDB(g)
+	bgp := New(g, db, Config{BGPMode: true})
+	bgp.Converge(seconds(300))
+	for _, req := range []policy.Request{{Src: s1, Dst: d}, {Src: s2, Dst: d}, {Src: d, Dst: s1}} {
+		out := bgp.Route(req)
+		if out.Looped {
+			t.Errorf("%v looped: %v", req, out.Path)
+		}
+		if !out.Delivered {
+			t.Errorf("%v not delivered", req)
+		}
+	}
+}

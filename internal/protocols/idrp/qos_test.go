@@ -1,0 +1,57 @@
+package idrp
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// TestQOSRouting: per-QOS contexts route independently — the cheap transit
+// offers only class 0, so class-1 traffic must detour.
+func TestQOSRouting(t *testing.T) {
+	g := ad.NewGraph()
+	src := g.AddAD("src", ad.Stub, ad.Campus)
+	cheap := g.AddAD("cheap", ad.Transit, ad.Regional)
+	dear := g.AddAD("dear", ad.Transit, ad.Regional)
+	dst := g.AddAD("dst", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: src, B: cheap, Cost: 1}, {A: cheap, B: dst, Cost: 1},
+		{A: src, B: dear, Cost: 5}, {A: dear, B: dst, Cost: 5},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.NewDB()
+	c := policy.OpenTerm(cheap, 0)
+	c.QOS = policy.ClassSetOf(0)
+	db.Add(c)
+	d := policy.OpenTerm(dear, 0)
+	d.QOS = policy.ClassSetOf(0, 1)
+	db.Add(d)
+
+	s := New(g, db, Config{QOSClasses: 2})
+	if _, ok := s.Converge(seconds(300)); !ok {
+		t.Fatal("did not converge")
+	}
+	out0 := s.Route(policy.Request{Src: src, Dst: dst, QOS: 0})
+	if !out0.Delivered || !out0.Path.Contains(cheap) {
+		t.Errorf("QOS0: %+v, want via cheap", out0)
+	}
+	out1 := s.Route(policy.Request{Src: src, Dst: dst, QOS: 1})
+	if !out1.Delivered || !out1.Path.Contains(dear) {
+		t.Errorf("QOS1: %+v, want via dear", out1)
+	}
+	// QOS index beyond the configured classes falls back to class 0.
+	outHigh := s.Route(policy.Request{Src: src, Dst: dst, QOS: 9})
+	if !outHigh.Delivered {
+		t.Errorf("out-of-range QOS: %+v", outHigh)
+	}
+	// Per-QOS state replication is visible.
+	single := New(g, db, Config{QOSClasses: 1})
+	single.Converge(seconds(300))
+	if s.StateEntries() <= single.StateEntries() {
+		t.Errorf("2-QOS state %d <= 1-QOS state %d", s.StateEntries(), single.StateEntries())
+	}
+}

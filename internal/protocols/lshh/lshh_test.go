@@ -1,0 +1,240 @@
+package lshh
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var _ core.System = (*System)(nil)
+
+func seconds(s int) sim.Time { return sim.Time(s) * sim.Second }
+
+func TestDeliversAllPairsOpenPolicy(t *testing.T) {
+	topo := topology.Figure1()
+	db := policy.OpenDB(topo.Graph)
+	s := New(topo.Graph, db, Config{})
+	if _, ok := s.Converge(seconds(300)); !ok {
+		t.Fatal("did not converge")
+	}
+	oracle := core.Oracle{G: topo.Graph, DB: db}
+	for _, src := range topo.Graph.IDs() {
+		for _, dst := range topo.Graph.IDs() {
+			if src == dst {
+				continue
+			}
+			req := policy.Request{Src: src, Dst: dst}
+			out := s.Route(req)
+			if !out.Delivered || out.Looped {
+				t.Errorf("%v->%v: %+v", src, dst, out)
+				continue
+			}
+			if !oracle.Legal(out.Path, req) {
+				t.Errorf("%v->%v illegal: %v", src, dst, out.Path)
+			}
+		}
+	}
+}
+
+func TestRespectsSourceSpecificPolicy(t *testing.T) {
+	// With global knowledge, LS hop-by-hop CAN honour source-specific
+	// terms — unlike ECMA — because every AD sees every term.
+	g := ad.NewGraph()
+	s1 := g.AddAD("s1", ad.Stub, ad.Campus)
+	s2 := g.AddAD("s2", ad.Stub, ad.Campus)
+	t1 := g.AddAD("t1", ad.Transit, ad.Regional)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: s1, B: t1, Cost: 1}, {A: s2, B: t1, Cost: 1},
+		{A: s1, B: t2, Cost: 1}, {A: s2, B: t2, Cost: 1},
+		{A: t1, B: d, Cost: 1}, {A: t2, B: d, Cost: 1},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.NewDB()
+	term1 := policy.OpenTerm(t1, 0)
+	term1.Sources = policy.SetOf(s1)
+	term1.Cost = 1
+	db.Add(term1)
+	term2 := policy.OpenTerm(t2, 0)
+	term2.Cost = 50
+	db.Add(term2)
+
+	s := New(g, db, Config{})
+	s.Converge(seconds(300))
+	oracle := core.Oracle{G: g, DB: db}
+	// s1 gets the cheap route; s2 gets the legal expensive one.
+	out1 := s.Route(policy.Request{Src: s1, Dst: d})
+	if !out1.Delivered || !out1.Path.Contains(t1) {
+		t.Errorf("s1: %+v", out1)
+	}
+	out2 := s.Route(policy.Request{Src: s2, Dst: d})
+	if !out2.Delivered || !out2.Path.Contains(t2) {
+		t.Errorf("s2: %+v (want legal route via t2)", out2)
+	}
+	if !oracle.Legal(out2.Path, policy.Request{Src: s2, Dst: d}) {
+		t.Errorf("s2 path illegal: %v", out2.Path)
+	}
+}
+
+func TestReplicatedComputationPerSource(t *testing.T) {
+	// The same destination reached from k different sources through one
+	// transit AD forces k separate computations there when policies are
+	// source-specific (paper §5.3). Star of sources -> hub -> dest.
+	g := ad.NewGraph()
+	hub := g.AddAD("hub", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: hub, B: d}); err != nil {
+		t.Fatal(err)
+	}
+	var sources []ad.ID
+	for i := 0; i < 6; i++ {
+		src := g.AddAD("s", ad.Stub, ad.Campus)
+		sources = append(sources, src)
+		if err := g.AddLink(ad.Link{A: src, B: hub}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.OpenDB(g)
+	s := New(g, db, Config{})
+	s.Converge(seconds(300))
+	for _, src := range sources {
+		if out := s.Route(policy.Request{Src: src, Dst: d}); !out.Delivered {
+			t.Fatalf("%v not delivered", src)
+		}
+	}
+	// The hub computed once per source context.
+	if got := s.NodeComputations(hub); got != len(sources) {
+		t.Errorf("hub computations = %d, want %d (one per source)", got, len(sources))
+	}
+	// Repeat requests hit the route cache: no new computations.
+	before := s.Computations()
+	for _, src := range sources {
+		s.Route(policy.Request{Src: src, Dst: d})
+	}
+	if s.Computations() != before {
+		t.Errorf("cache miss on repeated contexts: %d -> %d", before, s.Computations())
+	}
+}
+
+func TestInconsistentTieBreakCanLoop(t *testing.T) {
+	// With divergent objectives some (src,dst) pair on a cyclic topology
+	// should loop or at least diverge from the consistent run.
+	topo := topology.Generate(topology.Config{Seed: 11, LateralProb: 0.6, BypassProb: 0.3, Backbones: 2, RegionalsPerBackbone: 3, CampusesPerParent: 2})
+	// Non-uniform link costs so hop-count and cost objectives disagree.
+	db := policy.OpenDB(topo.Graph)
+	consistent := New(topo.Graph, db, Config{})
+	consistent.Converge(seconds(600))
+	inconsistent := New(topo.Graph, db, Config{InconsistentTieBreak: true})
+	inconsistent.Converge(seconds(600))
+
+	loopsC, loopsI, divergent := 0, 0, 0
+	for _, src := range topo.Graph.IDs() {
+		for _, dst := range topo.Graph.IDs() {
+			if src == dst {
+				continue
+			}
+			req := policy.Request{Src: src, Dst: dst}
+			oc := consistent.Route(req)
+			oi := inconsistent.Route(req)
+			if oc.Looped {
+				loopsC++
+			}
+			if oi.Looped {
+				loopsI++
+			}
+			if !oc.Path.Equal(oi.Path) {
+				divergent++
+			}
+		}
+	}
+	if loopsC != 0 {
+		t.Errorf("consistent run looped %d times", loopsC)
+	}
+	if divergent == 0 {
+		t.Error("inconsistent objectives produced identical forwarding — ablation inert")
+	}
+	t.Logf("inconsistent loops: %d, divergent paths: %d", loopsI, divergent)
+}
+
+func TestTopologyChangeInvalidatesCaches(t *testing.T) {
+	topo := topology.Figure1()
+	db := policy.OpenDB(topo.Graph)
+	s := New(topo.Graph, db, Config{})
+	s.Converge(seconds(300))
+	ids := topo.Graph.IDs()
+	req := policy.Request{Src: ids[5], Dst: ids[9]}
+	out1 := s.Route(req)
+	if !out1.Delivered {
+		t.Fatalf("initial: %+v", out1)
+	}
+	// Fail a link on the path; protocol refloods; new route must avoid it.
+	a, b := out1.Path[0], out1.Path[1]
+	if err := s.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Converge(seconds(600)); !ok {
+		t.Fatal("did not reconverge")
+	}
+	out2 := s.Route(req)
+	if out2.Delivered {
+		for i := 1; i < len(out2.Path); i++ {
+			if out2.Path[i-1] == a && out2.Path[i] == b || out2.Path[i-1] == b && out2.Path[i] == a {
+				t.Errorf("new path still uses failed link: %v", out2.Path)
+			}
+		}
+	}
+}
+
+func TestStateAndComputationCounters(t *testing.T) {
+	topo := topology.Figure1()
+	db := policy.OpenDB(topo.Graph)
+	s := New(topo.Graph, db, Config{})
+	s.Converge(seconds(300))
+	if s.StateEntries() == 0 {
+		t.Error("no LSDB state after convergence")
+	}
+	if s.Computations() != 0 {
+		t.Error("computations before any Route call")
+	}
+	ids := topo.Graph.IDs()
+	s.Route(policy.Request{Src: ids[5], Dst: ids[9]})
+	if s.Computations() == 0 || s.Expansions() == 0 {
+		t.Error("counters not advancing")
+	}
+	if s.NodeComputations(99) != 0 {
+		t.Error("NodeComputations(99) != 0")
+	}
+}
+
+func TestSourceCriteriaPrivate(t *testing.T) {
+	// The source honors its own avoid-list; remote ADs cannot see it.
+	g := ad.NewGraph()
+	src := g.AddAD("src", ad.Stub, ad.Campus)
+	t1 := g.AddAD("t1", ad.Transit, ad.Regional)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: src, B: t1, Cost: 1}, {A: t1, B: d, Cost: 1},
+		{A: src, B: t2, Cost: 5}, {A: t2, B: d, Cost: 5},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.OpenDB(g)
+	db.SetCriteria(src, policy.Criteria{Avoid: policy.SetOf(t1)})
+	s := New(g, db, Config{})
+	s.Converge(seconds(300))
+	out := s.Route(policy.Request{Src: src, Dst: d})
+	if !out.Delivered || out.Path.Contains(t1) {
+		t.Errorf("source avoid-list ignored: %+v", out)
+	}
+}

@@ -1,0 +1,645 @@
+// Package orwg implements the Open Routing Working Group / Clark
+// architecture recommended by Breslau & Estrin (SIGCOMM 1990) §5.4: link
+// state flooding of topology and policy terms, source-computed policy
+// routes, and a setup/handle forwarding plane.
+//
+// Each AD floods an LSA carrying its adjacencies and policy terms. A Route
+// Server at the source synthesizes a policy route (via a configurable
+// precomputation/on-demand strategy, §5.4.1) and emits a Setup packet
+// carrying the full AD route and, per transit AD, the policy term the
+// source claims authorizes the traversal. Policy Gateways validate the
+// claim against their own local policy — not the flooded copy — cache the
+// handle, and forward. Subsequent data packets carry only the handle;
+// the header-length saving is measured by experiment E5.
+package orwg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/flood"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synthesis"
+	"repro/internal/wire"
+)
+
+// StrategyKind selects the route server's synthesis strategy.
+type StrategyKind string
+
+// Available strategies (experiment E7).
+const (
+	OnDemand    StrategyKind = "on-demand"
+	Precomputed StrategyKind = "precomputed"
+	Hybrid      StrategyKind = "hybrid"
+)
+
+// Config parameterizes the system.
+type Config struct {
+	// Seed fixes the network RNG.
+	Seed int64
+	// Strategy is the route-server synthesis strategy.
+	Strategy StrategyKind
+	// HotRequests seeds the precomputed/hybrid strategies.
+	HotRequests []policy.Request
+	// CacheCapacity bounds each policy gateway's handle cache (0 =
+	// unlimited). Exceeding it evicts the least recently used handle —
+	// the PG state-management issue of §6.
+	CacheCapacity int
+	// DataPayload is the payload size for Route's verification packet.
+	DataPayload int
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Strategy == "" {
+		c.Strategy = OnDemand
+	}
+	if c.DataPayload == 0 {
+		c.DataPayload = 64
+	}
+	return c
+}
+
+// SetupResult reports one route establishment.
+type SetupResult struct {
+	Handle   uint64
+	Path     ad.Path
+	OK       bool
+	FailCode uint8
+	FailedAt ad.ID
+	// RTT is the simulated time from setup emission to the reply.
+	RTT sim.Time
+	// Messages is the number of protocol messages the setup consumed.
+	Messages uint64
+	// SynthesisExpansions is the route-server search work.
+	SynthesisExpansions int
+}
+
+// CacheStats aggregates policy-gateway handle-cache behaviour.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// System is an ORWG deployment.
+type System struct {
+	cfg   Config
+	nw    *sim.Network
+	db    *policy.DB
+	nodes map[ad.ID]*node
+
+	started bool
+}
+
+// New builds the system over g with policy db.
+func New(g *ad.Graph, db *policy.DB, cfg Config) *System {
+	cfg = cfg.Normalize()
+	s := &System{
+		cfg:   cfg,
+		nw:    sim.NewNetwork(g, cfg.Seed),
+		db:    db,
+		nodes: make(map[ad.ID]*node),
+	}
+	for _, id := range g.IDs() {
+		n := &node{
+			id:          id,
+			sys:         s,
+			flooder:     flood.NewFlooder(id, "lsa"),
+			cache:       make(map[uint64]*cacheEntry),
+			established: make(map[uint64]ad.Path),
+			delivered:   make(map[uint64]int),
+		}
+		n.flooder.OnChange = n.onLSDBChange
+		s.nodes[id] = n
+		s.nw.AddNode(n)
+	}
+	return s
+}
+
+// Name implements core.System.
+func (s *System) Name() string { return "orwg" }
+
+// Network implements core.System.
+func (s *System) Network() *sim.Network { return s.nw }
+
+// Converge implements core.System: floods all LSAs to quiescence.
+func (s *System) Converge(limit sim.Time) (sim.Time, bool) {
+	if !s.started {
+		s.started = true
+		s.nw.Start()
+	}
+	return s.nw.RunToQuiescence(limit)
+}
+
+// Establish synthesizes and sets up a policy route for req, running the
+// simulation through the full setup exchange.
+func (s *System) Establish(req policy.Request) SetupResult {
+	src, ok := s.nodes[req.Src]
+	if !ok {
+		return SetupResult{}
+	}
+	msgs0 := s.nw.Stats.MessagesSent
+	path, keys, expansions, found := src.synthesize(req)
+	res := SetupResult{SynthesisExpansions: expansions}
+	if !found {
+		return res
+	}
+	res.Path = path
+	if len(path) == 1 {
+		// Traffic to self needs no setup.
+		res.OK = true
+		return res
+	}
+	handle := src.newHandle()
+	res.Handle = handle
+	t0 := s.nw.Now()
+	src.startSetup(s.nw, handle, req, path, keys)
+	s.nw.Engine.Run()
+	res.Messages = s.nw.Stats.MessagesSent - msgs0
+	res.RTT = s.nw.Now() - t0
+	if est, ok := src.established[handle]; ok {
+		res.OK = true
+		res.Path = est
+	} else {
+		res.FailCode = src.lastFailCode
+		res.FailedAt = src.lastFailedAt
+	}
+	return res
+}
+
+// SendData sends one data packet down an established handle and runs the
+// simulation until it is delivered or dropped. It returns whether the
+// destination received it and the packet's routing-header length.
+func (s *System) SendData(srcID ad.ID, handle uint64, payload int) (delivered bool, headerBytes int) {
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return false, 0
+	}
+	path, ok := src.established[handle]
+	if !ok || len(path) < 2 {
+		return false, 0
+	}
+	pkt := &wire.Data{
+		Handle:  handle,
+		Mode:    wire.ModeHandle,
+		Payload: make([]byte, payload),
+	}
+	headerBytes = pkt.HeaderLen()
+	dest := s.nodes[path.Dest()]
+	before := dest.delivered[handle]
+	s.nw.Send("data", srcID, path[1], wire.Marshal(pkt))
+	s.nw.Engine.Run()
+	return dest.delivered[handle] > before, headerBytes
+}
+
+// Teardown releases an established route.
+func (s *System) Teardown(srcID ad.ID, handle uint64) {
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return
+	}
+	path, ok := src.established[handle]
+	if !ok {
+		return
+	}
+	delete(src.established, handle)
+	delete(src.cache, handle)
+	if len(path) >= 2 {
+		s.nw.Send("teardown", srcID, path[1], wire.Marshal(&wire.Teardown{Handle: handle}))
+		s.nw.Engine.Run()
+	}
+}
+
+// Route implements core.System: establish a policy route, then verify it by
+// forwarding an actual data packet over the handle plane.
+func (s *System) Route(req policy.Request) core.Outcome {
+	res := s.Establish(req)
+	if !res.OK {
+		return core.Outcome{Path: res.Path, SetupMessages: int(res.Messages)}
+	}
+	if len(res.Path) == 1 {
+		return core.Outcome{Path: res.Path, Delivered: true}
+	}
+	delivered, _ := s.SendData(req.Src, res.Handle, s.cfg.DataPayload)
+	return core.Outcome{
+		Path:          res.Path,
+		Delivered:     delivered,
+		SetupMessages: int(res.Messages),
+	}
+}
+
+// StateEntries implements core.System: LSDB entries plus cached handles —
+// the policy-gateway state of §6.
+func (s *System) StateEntries() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += n.flooder.DB.Len()
+		total += len(n.cache)
+	}
+	return total
+}
+
+// Computations implements core.System: total route-server search
+// expansions.
+func (s *System) Computations() int {
+	total := 0
+	for _, n := range s.nodes {
+		if n.strategy != nil {
+			st := n.strategy.Stats()
+			total += st.PrecomputeExpansions + st.OnDemandExpansions
+		}
+	}
+	return total
+}
+
+// CacheStats aggregates every PG's handle-cache counters.
+func (s *System) CacheStats() CacheStats {
+	var cs CacheStats
+	for _, n := range s.nodes {
+		cs.Hits += n.cacheHits
+		cs.Misses += n.cacheMisses
+		cs.Evictions += n.cacheEvictions
+		cs.Entries += len(n.cache)
+	}
+	return cs
+}
+
+// LSDBBytes returns the marshalled size of one AD's LSDB (they converge to
+// the same contents), the policy-distribution memory metric of E8.
+func (s *System) LSDBBytes() int {
+	for _, n := range s.nodes {
+		return n.flooder.DB.WireBytes()
+	}
+	return 0
+}
+
+// FailLink injects a link failure.
+func (s *System) FailLink(a, b ad.ID) error { return s.nw.FailLink(a, b) }
+
+// UpdatePolicy replaces an AD's policy terms at runtime: the AD re-floods
+// its LSA with the new terms, and its policy gateway re-validates every
+// cached policy route, tearing down routes the new policy no longer permits
+// (a SetupReply NAK propagates back so the source drops the route and can
+// re-synthesize). This exercises §5.4.1's operating assumption — "policy
+// and topology change much more slowly than the time required for route
+// setup" — when policy does change.
+func (s *System) UpdatePolicy(id ad.ID, terms []policy.Term) error {
+	n, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("orwg: unknown AD %v", id)
+	}
+	// Install the new terms in the ground-truth database by replacing
+	// the AD's term set.
+	s.db = s.db.WithTerms(id, terms)
+	// Re-flood and re-validate.
+	n.flooder.Originate(s.nw, s.db.Terms(id))
+	n.revalidateCache(s.nw)
+	s.nw.Engine.Run()
+	return nil
+}
+
+// PolicyDB exposes the current ground-truth policy database.
+func (s *System) PolicyDB() *policy.DB { return s.db }
+
+// cacheEntry is one PG's cached policy-route state for a handle.
+type cacheEntry struct {
+	route    ad.Path
+	idx      int // this AD's position on the route
+	req      policy.Request
+	lastUsed sim.Time
+	seq      uint64 // LRU tiebreak
+}
+
+// node is one AD's ORWG process: flooder, route server, and policy gateway.
+type node struct {
+	id      ad.ID
+	sys     *System
+	flooder *flood.Flooder
+
+	// Route server state.
+	view      *ad.Graph
+	viewDB    *policy.DB
+	viewDirty bool
+	strategy  synthesis.Strategy
+
+	// Policy gateway state.
+	cache          map[uint64]*cacheEntry
+	cacheSeq       uint64
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheEvictions uint64
+
+	// Source state.
+	handleSeq    uint32
+	established  map[uint64]ad.Path
+	lastFailCode uint8
+	lastFailedAt ad.ID
+
+	// Destination state: packets delivered per handle.
+	delivered map[uint64]int
+}
+
+func (n *node) ID() ad.ID { return n.id }
+
+func (n *node) Start(nw *sim.Network) {
+	n.flooder.Originate(nw, n.sys.db.Terms(n.id))
+}
+
+func (n *node) onLSDBChange(nw *sim.Network) {
+	n.viewDirty = true
+}
+
+func (n *node) refreshView() {
+	if n.view != nil && !n.viewDirty {
+		return
+	}
+	n.view = n.flooder.DB.Graph()
+	n.viewDB = n.flooder.DB.PolicyDB()
+	n.viewDB.SetCriteria(n.id, n.sys.db.CriteriaFor(n.id))
+	n.viewDirty = false
+	if n.strategy != nil {
+		n.strategy = n.buildStrategy()
+	}
+}
+
+func (n *node) buildStrategy() synthesis.Strategy {
+	switch n.sys.cfg.Strategy {
+	case Precomputed:
+		return synthesis.NewPrecomputed(n.view, n.viewDB, n.hotRequests())
+	case Hybrid:
+		return synthesis.NewHybrid(n.view, n.viewDB, n.hotRequests())
+	default:
+		return synthesis.NewOnDemand(n.view, n.viewDB)
+	}
+}
+
+// hotRequests filters the configured hot set to requests sourced here.
+func (n *node) hotRequests() []policy.Request {
+	var out []policy.Request
+	for _, r := range n.sys.cfg.HotRequests {
+		if r.Src == n.id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// synthesize runs the route server: compute a policy route and the claimed
+// term key for each transit AD.
+func (n *node) synthesize(req policy.Request) (ad.Path, []policy.Key, int, bool) {
+	n.refreshView()
+	if n.strategy == nil {
+		n.strategy = n.buildStrategy()
+	}
+	st0 := n.strategy.Stats()
+	path, ok := n.strategy.Route(req)
+	st1 := n.strategy.Stats()
+	expansions := (st1.PrecomputeExpansions + st1.OnDemandExpansions) -
+		(st0.PrecomputeExpansions + st0.OnDemandExpansions)
+	if !ok {
+		return nil, nil, expansions, false
+	}
+	var keys []policy.Key
+	for i := 1; i < len(path)-1; i++ {
+		t, ok := n.viewDB.PermitsTransit(path[i], req, path[i-1], path[i+1])
+		if !ok {
+			// The strategy returned a path the view cannot justify;
+			// treat as synthesis failure.
+			return nil, nil, expansions, false
+		}
+		keys = append(keys, t.Key())
+	}
+	return path, keys, expansions, true
+}
+
+func (n *node) newHandle() uint64 {
+	n.handleSeq++
+	return uint64(n.id)<<32 | uint64(n.handleSeq)
+}
+
+// startSetup caches the source's own entry and emits the setup packet.
+func (n *node) startSetup(nw *sim.Network, handle uint64, req policy.Request, route ad.Path, keys []policy.Key) {
+	n.cacheInsert(nw, handle, route, 0, req)
+	msg := &wire.Setup{Handle: handle, Req: req, Route: route, TermKeys: keys}
+	nw.Send("setup", n.id, route[1], wire.Marshal(msg))
+}
+
+// cacheInsert adds a handle entry, evicting the LRU entry beyond capacity.
+func (n *node) cacheInsert(nw *sim.Network, handle uint64, route ad.Path, idx int, req policy.Request) {
+	cap := n.sys.cfg.CacheCapacity
+	if cap > 0 && len(n.cache) >= cap {
+		if _, exists := n.cache[handle]; !exists {
+			var lruKey uint64
+			var lru *cacheEntry
+			for h, e := range n.cache {
+				if lru == nil || e.lastUsed < lru.lastUsed ||
+					(e.lastUsed == lru.lastUsed && e.seq < lru.seq) {
+					lru = e
+					lruKey = h
+				}
+			}
+			delete(n.cache, lruKey)
+			n.cacheEvictions++
+		}
+	}
+	n.cacheSeq++
+	n.cache[handle] = &cacheEntry{route: route, idx: idx, req: req, lastUsed: nw.Now(), seq: n.cacheSeq}
+}
+
+func (n *node) Receive(nw *sim.Network, from ad.ID, payload []byte) {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.LSA:
+		n.flooder.HandleLSA(nw, from, m)
+	case *wire.Setup:
+		n.handleSetup(nw, from, m)
+	case *wire.SetupReply:
+		n.handleSetupReply(nw, from, m)
+	case *wire.Data:
+		n.handleData(nw, from, m)
+	case *wire.Teardown:
+		n.handleTeardown(nw, from, m)
+	}
+}
+
+// indexOn returns this AD's position on route, or -1.
+func (n *node) indexOn(route ad.Path) int {
+	for i, id := range route {
+		if id == n.id {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleSetup validates a route setup at a policy gateway (paper §5.4.1):
+// the claimed policy term must exist locally and permit the traversal.
+func (n *node) handleSetup(nw *sim.Network, from ad.ID, m *wire.Setup) {
+	idx := n.indexOn(m.Route)
+	reject := func(code uint8) {
+		nw.Send("setup-reply", n.id, from, wire.Marshal(&wire.SetupReply{
+			Handle: m.Handle, Code: code, FailedAt: n.id,
+		}))
+	}
+	if idx <= 0 || !m.Route.LoopFree() || m.Route.Dest() != m.Req.Dst || m.Route.Source() != m.Req.Src {
+		reject(wire.SetupBadRoute)
+		return
+	}
+	if m.Route[idx-1] != from {
+		reject(wire.SetupBadRoute)
+		return
+	}
+	if idx == len(m.Route)-1 {
+		// Destination PG: accept, cache for the data plane, reply OK.
+		n.cacheInsert(nw, m.Handle, m.Route, idx, m.Req)
+		nw.Send("setup-reply", n.id, from, wire.Marshal(&wire.SetupReply{
+			Handle: m.Handle, Code: wire.SetupOK,
+		}))
+		return
+	}
+	// Transit PG: validate the claimed term against LOCAL policy.
+	var claimed *policy.Term
+	for _, k := range m.TermKeys {
+		if k.Advertiser != n.id {
+			continue
+		}
+		for _, t := range n.sys.db.Terms(n.id) {
+			if t.Serial == k.Serial {
+				tt := t
+				claimed = &tt
+				break
+			}
+		}
+		break
+	}
+	next := m.Route[idx+1]
+	if claimed == nil || !claimed.Permits(m.Req, m.Route[idx-1], next) {
+		reject(wire.SetupNoPolicy)
+		return
+	}
+	if !nw.LinkIsUp(n.id, next) {
+		reject(wire.SetupNoLink)
+		return
+	}
+	n.cacheInsert(nw, m.Handle, m.Route, idx, m.Req)
+	nw.Send("setup", n.id, next, wire.Marshal(m))
+}
+
+// handleSetupReply propagates a reply backward along the cached route,
+// dropping the cached state on failure.
+func (n *node) handleSetupReply(nw *sim.Network, from ad.ID, m *wire.SetupReply) {
+	e, ok := n.cache[m.Handle]
+	if !ok {
+		return
+	}
+	if !m.OK() {
+		delete(n.cache, m.Handle)
+	}
+	if e.idx == 0 {
+		// Source: resolve the pending setup.
+		if m.OK() {
+			n.established[m.Handle] = e.route
+		} else {
+			n.lastFailCode = m.Code
+			n.lastFailedAt = m.FailedAt
+			delete(n.cache, m.Handle)
+		}
+		return
+	}
+	nw.Send("setup-reply", n.id, e.route[e.idx-1], wire.Marshal(m))
+}
+
+// handleData forwards a handle-mode data packet along the cached route with
+// per-packet validation (is it arriving from the cached previous AD?).
+func (n *node) handleData(nw *sim.Network, from ad.ID, m *wire.Data) {
+	if m.Mode != wire.ModeHandle {
+		return // source-route data packets are the filter baseline's plane
+	}
+	e, ok := n.cache[m.Handle]
+	if !ok {
+		n.cacheMisses++
+		return // dropped: state evicted or never established
+	}
+	if e.idx > 0 && e.route[e.idx-1] != from {
+		return // per-packet validation failure (§5.4.1)
+	}
+	n.cacheHits++
+	n.cacheSeq++
+	e.lastUsed = nw.Now()
+	e.seq = n.cacheSeq
+	if e.idx == len(e.route)-1 {
+		n.delivered[m.Handle]++
+		return
+	}
+	nw.Send("data", n.id, e.route[e.idx+1], wire.Marshal(m))
+}
+
+// handleTeardown releases cached state along the route.
+func (n *node) handleTeardown(nw *sim.Network, from ad.ID, m *wire.Teardown) {
+	e, ok := n.cache[m.Handle]
+	if !ok {
+		return
+	}
+	delete(n.cache, m.Handle)
+	if e.idx < len(e.route)-1 {
+		nw.Send("teardown", n.id, e.route[e.idx+1], wire.Marshal(m))
+	}
+}
+
+// revalidateCache re-checks every cached policy route against this AD's
+// current local policy, tearing down routes that are no longer permitted.
+// Handles are processed in sorted order for determinism.
+func (n *node) revalidateCache(nw *sim.Network) {
+	handles := make([]uint64, 0, len(n.cache))
+	for h := range n.cache {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	for _, h := range handles {
+		e := n.cache[h]
+		if e.idx == 0 || e.idx == len(e.route)-1 {
+			continue // sources and destinations hold no transit obligation
+		}
+		prev, next := e.route[e.idx-1], e.route[e.idx+1]
+		permitted := false
+		for _, t := range n.sys.db.Terms(n.id) {
+			if t.Permits(e.req, prev, next) {
+				permitted = true
+				break
+			}
+		}
+		if permitted {
+			continue
+		}
+		delete(n.cache, h)
+		nw.Send("setup-reply", n.id, prev, wire.Marshal(&wire.SetupReply{
+			Handle: h, Code: wire.SetupNoPolicy, FailedAt: n.id,
+		}))
+	}
+}
+
+func (n *node) LinkDown(nw *sim.Network, nb ad.ID) {
+	n.flooder.Originate(nw, n.sys.db.Terms(n.id))
+	// Established routes using the failed adjacency die at the source.
+	for h, p := range n.established {
+		for i := 1; i < len(p); i++ {
+			if (p[i-1] == n.id && p[i] == nb) || (p[i-1] == nb && p[i] == n.id) {
+				delete(n.established, h)
+				break
+			}
+		}
+	}
+}
+
+func (n *node) LinkUp(nw *sim.Network, nb ad.ID) {
+	n.flooder.Originate(nw, n.sys.db.Terms(n.id))
+}
+
+// String aids debugging.
+func (n *node) String() string { return fmt.Sprintf("orwg-node(%v)", n.id) }

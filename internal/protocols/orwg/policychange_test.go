@@ -1,0 +1,149 @@
+package orwg
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// policyChangeNet: src can reach d via t1 (cheap) or t2 (expensive).
+func policyChangeNet(t *testing.T) (*ad.Graph, ad.ID, ad.ID, ad.ID, ad.ID) {
+	t.Helper()
+	g := ad.NewGraph()
+	src := g.AddAD("src", ad.Stub, ad.Campus)
+	t1 := g.AddAD("t1", ad.Transit, ad.Regional)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: src, B: t1, Cost: 1}, {A: t1, B: d, Cost: 1},
+		{A: src, B: t2, Cost: 5}, {A: t2, B: d, Cost: 5},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, src, t1, t2, d
+}
+
+func TestPolicyChangeTearsDownStaleRoutes(t *testing.T) {
+	g, src, t1, t2, d := policyChangeNet(t)
+	db := policy.NewDB()
+	db.Add(policy.OpenTerm(t1, 0))
+	db.Add(policy.OpenTerm(t2, 0))
+	s := converged(t, g, db, Config{})
+
+	req := policy.Request{Src: src, Dst: d}
+	res := s.Establish(req)
+	if !res.OK || !res.Path.Contains(t1) {
+		t.Fatalf("initial establish: %+v (want via cheap t1)", res)
+	}
+	if delivered, _ := s.SendData(src, res.Handle, 8); !delivered {
+		t.Fatal("initial data failed")
+	}
+
+	// t1 tightens its policy: it now carries only d's traffic. The PG
+	// must tear the stale route down (NAK to the source).
+	restricted := policy.OpenTerm(t1, 0)
+	restricted.Sources = policy.SetOf(d)
+	if err := s.UpdatePolicy(t1, []policy.Term{restricted}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old handle is dead: the source dropped its established entry.
+	if delivered, _ := s.SendData(src, res.Handle, 8); delivered {
+		t.Error("data delivered over a route the new policy forbids")
+	}
+
+	// A fresh synthesis finds the legal alternative via t2.
+	res2 := s.Establish(req)
+	if !res2.OK {
+		t.Fatalf("re-establish failed: %+v", res2)
+	}
+	if !res2.Path.Contains(t2) || res2.Path.Contains(t1) {
+		t.Errorf("new route = %v, want via t2 only", res2.Path)
+	}
+	oracle := core.Oracle{G: g, DB: s.PolicyDB()}
+	if !oracle.Legal(res2.Path, req) {
+		t.Errorf("new route illegal: %v", res2.Path)
+	}
+	if delivered, _ := s.SendData(src, res2.Handle, 8); !delivered {
+		t.Error("data over the new route failed")
+	}
+}
+
+func TestPolicyChangeRelaxationOpensRoutes(t *testing.T) {
+	g, src, t1, t2, d := policyChangeNet(t)
+	// Start with t1 closed to src; only the expensive t2 works.
+	db := policy.NewDB()
+	closed := policy.OpenTerm(t1, 0)
+	closed.Sources = policy.SetOf(d)
+	db.Add(closed)
+	db.Add(policy.OpenTerm(t2, 0))
+	s := converged(t, g, db, Config{})
+
+	req := policy.Request{Src: src, Dst: d}
+	res := s.Establish(req)
+	if !res.OK || !res.Path.Contains(t2) {
+		t.Fatalf("initial: %+v (want via t2)", res)
+	}
+
+	// t1 relaxes to an open policy; new synthesis should prefer it.
+	if err := s.UpdatePolicy(t1, []policy.Term{policy.OpenTerm(t1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	res2 := s.Establish(req)
+	if !res2.OK || !res2.Path.Contains(t1) {
+		t.Errorf("after relaxation: %+v (want cheap route via t1)", res2)
+	}
+	// The pre-existing route via t2 keeps working (still legal).
+	if delivered, _ := s.SendData(src, res.Handle, 8); !delivered {
+		t.Error("still-legal old route was torn down")
+	}
+}
+
+func TestPolicyChangeOnlyAffectsMatchingFlows(t *testing.T) {
+	// Two sources through one transit; the policy change cuts only one.
+	g := ad.NewGraph()
+	s1 := g.AddAD("s1", ad.Stub, ad.Campus)
+	s2 := g.AddAD("s2", ad.Stub, ad.Campus)
+	tr := g.AddAD("tr", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{{A: s1, B: tr}, {A: s2, B: tr}, {A: tr, B: d}} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.NewDB()
+	db.Add(policy.OpenTerm(tr, 0))
+	s := converged(t, g, db, Config{})
+
+	r1 := s.Establish(policy.Request{Src: s1, Dst: d})
+	r2 := s.Establish(policy.Request{Src: s2, Dst: d})
+	if !r1.OK || !r2.OK {
+		t.Fatalf("establish: %+v %+v", r1, r2)
+	}
+
+	// tr now excludes s1 only.
+	term := policy.OpenTerm(tr, 0)
+	term.Sources = policy.SetOf(s2, d)
+	if err := s.UpdatePolicy(tr, []policy.Term{term}); err != nil {
+		t.Fatal(err)
+	}
+
+	if delivered, _ := s.SendData(s1, r1.Handle, 8); delivered {
+		t.Error("excluded source still delivered")
+	}
+	if delivered, _ := s.SendData(s2, r2.Handle, 8); !delivered {
+		t.Error("unaffected source torn down")
+	}
+}
+
+func TestUpdatePolicyUnknownAD(t *testing.T) {
+	g, _, _, _, _ := policyChangeNet(t)
+	s := converged(t, g, policy.OpenDB(g), Config{})
+	if err := s.UpdatePolicy(999, nil); err == nil {
+		t.Error("UpdatePolicy(999) did not error")
+	}
+}

@@ -1,0 +1,275 @@
+// Package plaindv implements a traditional Bellman-Ford distance-vector
+// routing protocol (RIP-like) with no policy support. It is the convergence
+// baseline of experiment E2: with split horizon disabled it exhibits the
+// count-to-infinity behaviour the paper attributes to "other DV algorithms"
+// (§5.1.1), and it freely violates transit policy because it cannot see it
+// (§3).
+package plaindv
+
+import (
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/dvcore"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// Infinity is the unreachable metric (classic RIP uses 16).
+	Infinity uint32
+	// SplitHorizon suppresses advertising a route back to the neighbor
+	// it was learned from.
+	SplitHorizon bool
+	// Seed fixes the network RNG.
+	Seed int64
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Infinity == 0 {
+		c.Infinity = 16
+	}
+	return c
+}
+
+// flushDelay batches triggered updates dirtied within a small window.
+const flushDelay = sim.Millisecond
+
+// node is one AD's distance-vector process.
+type node struct {
+	id           ad.ID
+	sys          *System
+	table        *dvcore.Table
+	flushPending bool
+}
+
+// System is a plain-DV deployment over a topology.
+type System struct {
+	cfg   Config
+	nw    *sim.Network
+	nodes map[ad.ID]*node
+	// computations counts table update rounds (one per processed
+	// message), the DV analogue of a route computation.
+	computations int
+	started      bool
+}
+
+// New builds the system over g. The policy database is deliberately ignored:
+// plain DV has no way to express it.
+func New(g *ad.Graph, cfg Config) *System {
+	cfg = cfg.Normalize()
+	s := &System{
+		cfg:   cfg,
+		nw:    sim.NewNetwork(g, cfg.Seed),
+		nodes: make(map[ad.ID]*node),
+	}
+	for _, id := range g.IDs() {
+		n := &node{id: id, sys: s, table: dvcore.NewTable()}
+		s.nodes[id] = n
+		s.nw.AddNode(n)
+	}
+	return s
+}
+
+// Name implements core.System.
+func (s *System) Name() string { return "plain-dv" }
+
+// Network implements core.System.
+func (s *System) Network() *sim.Network { return s.nw }
+
+// Converge implements core.System.
+func (s *System) Converge(limit sim.Time) (sim.Time, bool) {
+	if !s.started {
+		s.started = true
+		s.nw.Start()
+	}
+	return s.nw.RunToQuiescence(limit)
+}
+
+// Route implements core.System: hop-by-hop forwarding over the FIBs.
+func (s *System) Route(req policy.Request) core.Outcome {
+	k := dvcore.Key{Dest: req.Dst, QOS: 0}
+	path, delivered, looped := dvcore.FollowNextHops(req.Src, k, func(id ad.ID) *dvcore.Table {
+		if n, ok := s.nodes[id]; ok {
+			return n.table
+		}
+		return nil
+	})
+	return core.Outcome{Path: path, Delivered: delivered, Looped: looped}
+}
+
+// StateEntries implements core.System.
+func (s *System) StateEntries() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += n.table.Len()
+	}
+	return total
+}
+
+// Computations implements core.System.
+func (s *System) Computations() int { return s.computations }
+
+// Table exposes an AD's routing table for tests.
+func (s *System) Table(id ad.ID) *dvcore.Table {
+	if n, ok := s.nodes[id]; ok {
+		return n.table
+	}
+	return nil
+}
+
+// FailLink injects a link failure.
+func (s *System) FailLink(a, b ad.ID) error { return s.nw.FailLink(a, b) }
+
+// node implementation.
+
+func (n *node) ID() ad.ID { return n.id }
+
+func (n *node) Start(nw *sim.Network) {
+	n.table.Set(dvcore.Entry{Key: dvcore.Key{Dest: n.id}, Metric: 0, NextHop: n.id})
+	n.scheduleFlush(nw)
+}
+
+func (n *node) scheduleFlush(nw *sim.Network) {
+	if n.flushPending {
+		return
+	}
+	n.flushPending = true
+	nw.After(flushDelay, func() {
+		n.flushPending = false
+		n.flush(nw)
+	})
+}
+
+// flush sends the dirtied routes to every up neighbor, applying split
+// horizon per neighbor if configured.
+func (n *node) flush(nw *sim.Network) {
+	dirty := n.table.TakeDirty()
+	if len(dirty) == 0 {
+		return
+	}
+	for _, nb := range nw.UpNeighbors(n.id) {
+		var upd wire.DVUpdate
+		for _, k := range dirty {
+			e, ok := n.table.Get(k)
+			if !ok {
+				upd.Routes = append(upd.Routes, wire.DVRoute{Dest: k.Dest, Metric: n.sys.cfg.Infinity})
+				continue
+			}
+			if n.sys.cfg.SplitHorizon && e.NextHop == nb {
+				continue
+			}
+			upd.Routes = append(upd.Routes, wire.DVRoute{Dest: k.Dest, Metric: e.Metric})
+		}
+		if len(upd.Routes) > 0 {
+			nw.Send("dv", n.id, nb, wire.Marshal(&upd))
+		}
+	}
+}
+
+func (n *node) Receive(nw *sim.Network, from ad.ID, payload []byte) {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	upd, ok := msg.(*wire.DVUpdate)
+	if !ok {
+		return
+	}
+	if len(upd.Routes) == 0 {
+		// RIP-style full-table request (sent after a topology change):
+		// respond with the complete table, split-horizon filtered.
+		n.respondFullTable(nw, from)
+		return
+	}
+	n.sys.computations++
+	link, ok := nw.Graph.LinkBetween(n.id, from)
+	if !ok {
+		return
+	}
+	inf := n.sys.cfg.Infinity
+	changed := false
+	for _, rt := range upd.Routes {
+		if rt.Dest == n.id {
+			continue
+		}
+		metric := rt.Metric + link.Cost
+		if metric > inf {
+			metric = inf
+		}
+		k := dvcore.Key{Dest: rt.Dest}
+		cur, have := n.table.Get(k)
+		switch {
+		case have && cur.NextHop == from:
+			// Updates from the current next hop are authoritative,
+			// better or worse.
+			e := dvcore.Entry{Key: k, Metric: metric, NextHop: from}
+			if metric >= inf {
+				e.NextHop = ad.Invalid
+			}
+			if n.table.Set(e) {
+				changed = true
+			}
+		case !have || metric < cur.Metric:
+			if metric >= inf {
+				continue // don't learn fresh unreachables
+			}
+			if n.table.Set(dvcore.Entry{Key: k, Metric: metric, NextHop: from}) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		n.scheduleFlush(nw)
+	}
+}
+
+// respondFullTable answers a table request from nb with every route,
+// applying split horizon if configured.
+func (n *node) respondFullTable(nw *sim.Network, nb ad.ID) {
+	var upd wire.DVUpdate
+	for _, e := range n.table.Entries() {
+		if n.sys.cfg.SplitHorizon && e.NextHop == nb {
+			continue
+		}
+		upd.Routes = append(upd.Routes, wire.DVRoute{Dest: e.Key.Dest, Metric: e.Metric})
+	}
+	if len(upd.Routes) > 0 {
+		nw.Send("dv", n.id, nb, wire.Marshal(&upd))
+	}
+}
+
+func (n *node) LinkDown(nw *sim.Network, nb ad.ID) {
+	inf := n.sys.cfg.Infinity
+	changed := false
+	for _, k := range n.table.ViaNeighbor(nb) {
+		e, _ := n.table.Get(k)
+		e.Metric = inf
+		e.NextHop = ad.Invalid
+		if n.table.Set(e) {
+			changed = true
+		}
+	}
+	if changed {
+		n.scheduleFlush(nw)
+		// Solicit alternatives from the remaining neighbors (RIP
+		// request). Without split horizon a neighbor may answer with
+		// the stale route it learned from us, starting the classic
+		// count-to-infinity bounce.
+		for _, other := range nw.UpNeighbors(n.id) {
+			nw.Send("dv", n.id, other, wire.Marshal(&wire.DVUpdate{}))
+		}
+	}
+}
+
+func (n *node) LinkUp(nw *sim.Network, nb ad.ID) {
+	// Re-advertise the full table to the recovered neighbor by marking
+	// everything dirty.
+	for _, e := range n.table.Entries() {
+		n.table.Delete(e.Key)
+		n.table.Set(e)
+	}
+	n.scheduleFlush(nw)
+}

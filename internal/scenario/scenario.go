@@ -1,0 +1,356 @@
+// Package scenario provides a declarative, JSON-driven front end to the
+// simulator: a scenario file names a topology (generated, Figure 1, or
+// inline), a policy set (open, generated, or explicit terms), a protocol,
+// a timeline of events (link failures/restorations, policy changes), and a
+// traffic workload. Running a scenario produces a phase-by-phase report.
+//
+// This is the integration surface for users who want to pose their own
+// what-if questions to the reproduction without writing Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/protocols/ecma"
+	"repro/internal/protocols/egp"
+	"repro/internal/protocols/filters"
+	"repro/internal/protocols/idrp"
+	"repro/internal/protocols/lshh"
+	"repro/internal/protocols/orwg"
+	"repro/internal/protocols/plaindv"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Scenario is the top-level declarative description.
+type Scenario struct {
+	Name     string       `json:"name"`
+	Topology TopologySpec `json:"topology"`
+	Policy   PolicySpec   `json:"policy"`
+	Protocol ProtocolSpec `json:"protocol"`
+	Events   []Event      `json:"events,omitempty"`
+	Requests RequestSpec  `json:"requests"`
+	// ConvergeLimitMS bounds each convergence phase (default 600 000).
+	ConvergeLimitMS int64 `json:"converge_limit_ms,omitempty"`
+}
+
+// TopologySpec selects the internet. Exactly one field should be set.
+type TopologySpec struct {
+	Figure1  bool             `json:"figure1,omitempty"`
+	Generate *topology.Config `json:"generate,omitempty"`
+}
+
+// PolicySpec selects the policy database.
+type PolicySpec struct {
+	Open     bool              `json:"open,omitempty"`
+	Generate *policy.GenConfig `json:"generate,omitempty"`
+	Terms    []TermSpec        `json:"terms,omitempty"`
+}
+
+// TermSpec is the JSON form of one policy term. AD sets are either the
+// string "*" (universal) or a list of AD IDs.
+type TermSpec struct {
+	Advertiser uint32    `json:"advertiser"`
+	Serial     uint32    `json:"serial,omitempty"`
+	Sources    ADSetSpec `json:"sources,omitempty"`
+	Dests      ADSetSpec `json:"dests,omitempty"`
+	PrevADs    ADSetSpec `json:"prev,omitempty"`
+	NextADs    ADSetSpec `json:"next,omitempty"`
+	QOS        []uint8   `json:"qos,omitempty"`
+	UCI        []uint8   `json:"uci,omitempty"`
+	HourStart  *uint8    `json:"hour_start,omitempty"`
+	HourEnd    *uint8    `json:"hour_end,omitempty"`
+	Cost       uint32    `json:"cost,omitempty"`
+}
+
+// ADSetSpec marshals as "*" or a JSON array of IDs. The zero value means
+// universal (the common case for open terms).
+type ADSetSpec struct {
+	universal bool
+	ids       []uint32
+	set       bool
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *ADSetSpec) UnmarshalJSON(b []byte) error {
+	*s = ADSetSpec{set: true}
+	var star string
+	if err := json.Unmarshal(b, &star); err == nil {
+		if star != "*" {
+			return fmt.Errorf("scenario: AD set string must be %q, got %q", "*", star)
+		}
+		s.universal = true
+		return nil
+	}
+	if err := json.Unmarshal(b, &s.ids); err != nil {
+		return fmt.Errorf("scenario: AD set must be \"*\" or an ID list: %w", err)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s ADSetSpec) MarshalJSON() ([]byte, error) {
+	if !s.set || s.universal {
+		return json.Marshal("*")
+	}
+	return json.Marshal(s.ids)
+}
+
+// toADSet converts to the policy representation (universal when unset).
+func (s ADSetSpec) toADSet() policy.ADSet {
+	if !s.set || s.universal {
+		return policy.Universal()
+	}
+	ids := make([]ad.ID, len(s.ids))
+	for i, v := range s.ids {
+		ids[i] = ad.ID(v)
+	}
+	return policy.SetOf(ids...)
+}
+
+// toTerm converts a TermSpec to a policy.Term.
+func (ts TermSpec) toTerm() policy.Term {
+	t := policy.Term{
+		Advertiser: ad.ID(ts.Advertiser),
+		Serial:     ts.Serial,
+		Sources:    ts.Sources.toADSet(),
+		Dests:      ts.Dests.toADSet(),
+		PrevADs:    ts.PrevADs.toADSet(),
+		NextADs:    ts.NextADs.toADSet(),
+		QOS:        policy.AllClasses,
+		UCI:        policy.AllClasses,
+		Hours:      policy.Always,
+		Cost:       ts.Cost,
+	}
+	if len(ts.QOS) > 0 {
+		t.QOS = policy.ClassSetOf(ts.QOS...)
+	}
+	if len(ts.UCI) > 0 {
+		t.UCI = policy.ClassSetOf(ts.UCI...)
+	}
+	if ts.HourStart != nil && ts.HourEnd != nil {
+		t.Hours = policy.HourWindow{Start: *ts.HourStart, End: *ts.HourEnd}
+	}
+	if t.Cost == 0 {
+		t.Cost = 1
+	}
+	return t
+}
+
+// ProtocolSpec names the architecture and its knobs.
+type ProtocolSpec struct {
+	Name string `json:"name"`
+	// Shared knobs; each protocol reads the ones it understands.
+	Seed            int64   `json:"seed,omitempty"`
+	SplitHorizon    *bool   `json:"split_horizon,omitempty"`
+	MultiRoute      int     `json:"multi_route,omitempty"`
+	QOSClasses      int     `json:"qos_classes,omitempty"`
+	DisableOrdering bool    `json:"disable_ordering,omitempty"`
+	CacheCapacity   int     `json:"cache_capacity,omitempty"`
+	Strategy        string  `json:"strategy,omitempty"`
+	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
+	NoFallback      bool    `json:"no_fallback,omitempty"`
+	MaxCandidates   int     `json:"max_candidates,omitempty"`
+	Restriction     float64 `json:"-"`
+}
+
+// Event is one timeline entry, applied after the previous phase converges.
+type Event struct {
+	// Action is "fail", "restore", or "update-policy".
+	Action string `json:"action"`
+	// A and B are the link endpoints for fail/restore.
+	A uint32 `json:"a,omitempty"`
+	B uint32 `json:"b,omitempty"`
+	// AD is the update-policy target.
+	AD uint32 `json:"ad,omitempty"`
+	// Terms replace the AD's policy for update-policy.
+	Terms []TermSpec `json:"terms,omitempty"`
+}
+
+// RequestSpec selects the traffic workload.
+type RequestSpec struct {
+	// AllStubPairs evaluates every ordered stub pair.
+	AllStubPairs bool `json:"all_stub_pairs,omitempty"`
+	// AllPairs evaluates every ordered AD pair.
+	AllPairs bool `json:"all_pairs,omitempty"`
+	// Explicit lists individual requests.
+	Explicit []RequestEntry `json:"explicit,omitempty"`
+}
+
+// RequestEntry is one explicit traffic request.
+type RequestEntry struct {
+	Src  uint32 `json:"src"`
+	Dst  uint32 `json:"dst"`
+	QOS  uint8  `json:"qos,omitempty"`
+	UCI  uint8  `json:"uci,omitempty"`
+	Hour uint8  `json:"hour,omitempty"`
+}
+
+// Load parses a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// build materializes the scenario's graph, policy, protocol, and workload.
+func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Request, error) {
+	var g *ad.Graph
+	switch {
+	case sc.Topology.Figure1:
+		g = topology.Figure1().Graph
+	case sc.Topology.Generate != nil:
+		g = topology.Generate(*sc.Topology.Generate).Graph
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("scenario: topology must set figure1 or generate")
+	}
+
+	var db *policy.DB
+	switch {
+	case sc.Policy.Open:
+		db = policy.OpenDB(g)
+	case sc.Policy.Generate != nil:
+		db = policy.Generate(g, *sc.Policy.Generate)
+	case len(sc.Policy.Terms) > 0:
+		db = policy.NewDB()
+		for _, ts := range sc.Policy.Terms {
+			db.Add(ts.toTerm())
+		}
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("scenario: policy must set open, generate, or terms")
+	}
+
+	p := sc.Protocol
+	var sys core.System
+	switch p.Name {
+	case "plain-dv":
+		split := true
+		if p.SplitHorizon != nil {
+			split = *p.SplitHorizon
+		}
+		sys = plaindv.New(g, plaindv.Config{SplitHorizon: split, Seed: p.Seed})
+	case "egp":
+		sys = egp.New(g, egp.Config{Seed: p.Seed, NoFallback: p.NoFallback})
+	case "filters":
+		sys = filters.New(g, db, filters.Config{
+			Seed:          p.Seed,
+			Timeout:       sim.Time(p.TimeoutMS) * sim.Millisecond,
+			MaxCandidates: p.MaxCandidates,
+		})
+	case "ecma":
+		sys = ecma.New(g, db, ecma.Config{Seed: p.Seed, QOSClasses: p.QOSClasses, DisableOrdering: p.DisableOrdering})
+	case "idrp":
+		sys = idrp.New(g, db, idrp.Config{Seed: p.Seed, MultiRoute: p.MultiRoute, QOSClasses: p.QOSClasses})
+	case "bgp":
+		sys = idrp.New(g, db, idrp.Config{Seed: p.Seed, BGPMode: true})
+	case "lshh":
+		sys = lshh.New(g, db, lshh.Config{Seed: p.Seed})
+	case "orwg":
+		sys = orwg.New(g, db, orwg.Config{
+			Seed:          p.Seed,
+			Strategy:      orwg.StrategyKind(p.Strategy),
+			CacheCapacity: p.CacheCapacity,
+		})
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("scenario: unknown protocol %q", p.Name)
+	}
+
+	var reqs []policy.Request
+	switch {
+	case sc.Requests.AllStubPairs:
+		reqs = core.AllPairsRequests(g, true, 0, 0)
+	case sc.Requests.AllPairs:
+		reqs = core.AllPairsRequests(g, false, 0, 0)
+	case len(sc.Requests.Explicit) > 0:
+		for _, e := range sc.Requests.Explicit {
+			reqs = append(reqs, policy.Request{
+				Src: ad.ID(e.Src), Dst: ad.ID(e.Dst),
+				QOS: policy.QOS(e.QOS), UCI: policy.UCI(e.UCI), Hour: e.Hour,
+			})
+		}
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("scenario: requests must set all_stub_pairs, all_pairs, or explicit")
+	}
+	return g, db, sys, reqs, nil
+}
+
+// Run executes the scenario and writes a phased report to w.
+func (sc *Scenario) Run(w io.Writer) error {
+	g, db, sys, reqs, err := sc.build()
+	if err != nil {
+		return err
+	}
+	limit := sim.Time(sc.ConvergeLimitMS) * sim.Millisecond
+	if limit == 0 {
+		limit = 600 * sim.Second
+	}
+	name := sc.Name
+	if name == "" {
+		name = "scenario"
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("%s — %s", name, sys.Name()),
+		"phase", "availability", "illegal", "loops", "blackholes", "messages", "bytes", "conv")
+
+	evaluate := func(phase string) {
+		m := core.RunScenario(sys, core.Oracle{G: g, DB: currentDB(sys, db)}, reqs, limit)
+		tbl.AddRow(phase, m.Availability(), m.DeliveredIllegal, m.Looped, m.Blackholed,
+			m.Messages, m.Bytes, m.ConvergenceTime.String())
+	}
+	evaluate("initial")
+
+	for i, ev := range sc.Events {
+		label := fmt.Sprintf("event %d: %s", i+1, ev.Action)
+		switch ev.Action {
+		case "fail":
+			f, ok := sys.(interface{ FailLink(a, b ad.ID) error })
+			if !ok {
+				return fmt.Errorf("scenario: %s does not support failures", sys.Name())
+			}
+			if err := f.FailLink(ad.ID(ev.A), ad.ID(ev.B)); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i+1, err)
+			}
+			label = fmt.Sprintf("event %d: fail %v-%v", i+1, ad.ID(ev.A), ad.ID(ev.B))
+		case "restore":
+			if err := sys.Network().RestoreLink(ad.ID(ev.A), ad.ID(ev.B)); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i+1, err)
+			}
+			label = fmt.Sprintf("event %d: restore %v-%v", i+1, ad.ID(ev.A), ad.ID(ev.B))
+		case "update-policy":
+			ow, ok := sys.(*orwg.System)
+			if !ok {
+				return fmt.Errorf("scenario: update-policy requires the orwg protocol")
+			}
+			terms := make([]policy.Term, 0, len(ev.Terms))
+			for _, ts := range ev.Terms {
+				terms = append(terms, ts.toTerm())
+			}
+			if err := ow.UpdatePolicy(ad.ID(ev.AD), terms); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i+1, err)
+			}
+			label = fmt.Sprintf("event %d: update-policy %v (%d terms)", i+1, ad.ID(ev.AD), len(terms))
+		default:
+			return fmt.Errorf("scenario: unknown event action %q", ev.Action)
+		}
+		evaluate(label)
+	}
+	return tbl.Render(w)
+}
+
+// currentDB returns the live policy database for systems that mutate it
+// (ORWG after update-policy events); others keep the original.
+func currentDB(sys core.System, db *policy.DB) *policy.DB {
+	if ow, ok := sys.(*orwg.System); ok {
+		return ow.PolicyDB()
+	}
+	return db
+}

@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, js string) string {
+	t.Helper()
+	sc, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var out bytes.Buffer
+	if err := sc.Run(&out); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out.String()
+}
+
+func TestFigure1OpenORWG(t *testing.T) {
+	out := run(t, `{
+		"name": "fig1-open",
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "orwg"},
+		"requests": {"all_stub_pairs": true}
+	}`)
+	if !strings.Contains(out, "fig1-open — orwg") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "initial") || !strings.Contains(out, "1.000") {
+		t.Errorf("initial full availability missing:\n%s", out)
+	}
+}
+
+func TestGeneratedWithEvents(t *testing.T) {
+	out := run(t, `{
+		"topology": {"generate": {"Seed": 5, "LateralProb": 0.3}},
+		"policy": {"open": true},
+		"protocol": {"name": "ecma"},
+		"events": [
+			{"action": "fail", "a": 3, "b": 1},
+			{"action": "restore", "a": 3, "b": 1}
+		],
+		"requests": {"all_stub_pairs": true}
+	}`)
+	for _, want := range []string{"initial", "fail AD3-AD1", "restore AD3-AD1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplicitTermsAndRequests(t *testing.T) {
+	// Figure 1 IDs: 1,2 backbones; 3,4,5 regionals; 6..10 campuses.
+	out := run(t, `{
+		"topology": {"figure1": true},
+		"policy": {"terms": [
+			{"advertiser": 1}, {"advertiser": 2},
+			{"advertiser": 3, "sources": [6, 7]},
+			{"advertiser": 4}, {"advertiser": 5}
+		]},
+		"protocol": {"name": "orwg"},
+		"requests": {"explicit": [
+			{"src": 6, "dst": 9},
+			{"src": 7, "dst": 10}
+		]}
+	}`)
+	if !strings.Contains(out, "initial") {
+		t.Errorf("report missing:\n%s", out)
+	}
+}
+
+func TestUpdatePolicyEvent(t *testing.T) {
+	out := run(t, `{
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "orwg"},
+		"events": [
+			{"action": "update-policy", "ad": 3, "terms": [
+				{"advertiser": 3, "sources": [6]}
+			]}
+		],
+		"requests": {"all_stub_pairs": true}
+	}`)
+	if !strings.Contains(out, "update-policy AD3 (1 terms)") {
+		t.Errorf("update-policy phase missing:\n%s", out)
+	}
+}
+
+func TestUpdatePolicyRequiresORWG(t *testing.T) {
+	sc, err := Load(strings.NewReader(`{
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "ecma"},
+		"events": [{"action": "update-policy", "ad": 3}],
+		"requests": {"all_stub_pairs": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := sc.Run(&out); err == nil {
+		t.Error("update-policy under ecma did not error")
+	}
+}
+
+func TestAllProtocolsRunnable(t *testing.T) {
+	for _, proto := range []string{"plain-dv", "egp", "filters", "ecma", "idrp", "lshh", "orwg"} {
+		out := run(t, `{
+			"topology": {"figure1": true},
+			"policy": {"open": true},
+			"protocol": {"name": "`+proto+`"},
+			"requests": {"all_stub_pairs": true}
+		}`)
+		if !strings.Contains(out, "initial") {
+			t.Errorf("%s: no report", proto)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"unknown_field": 1}`,
+		`{"topology": {}, "policy": {"open": true}, "protocol": {"name": "orwg"}, "requests": {"all_pairs": true}}`,
+		`{"topology": {"figure1": true}, "policy": {}, "protocol": {"name": "orwg"}, "requests": {"all_pairs": true}}`,
+		`{"topology": {"figure1": true}, "policy": {"open": true}, "protocol": {"name": "nope"}, "requests": {"all_pairs": true}}`,
+		`{"topology": {"figure1": true}, "policy": {"open": true}, "protocol": {"name": "orwg"}, "requests": {}}`,
+		`{"topology": {"figure1": true}, "policy": {"terms": [{"advertiser": 1, "sources": "x"}]}, "protocol": {"name": "orwg"}, "requests": {"all_pairs": true}}`,
+	}
+	for i, js := range cases {
+		sc, err := Load(strings.NewReader(js))
+		if err != nil {
+			continue // parse-time rejection is fine
+		}
+		var out bytes.Buffer
+		if err := sc.Run(&out); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestBadEventAction(t *testing.T) {
+	sc, err := Load(strings.NewReader(`{
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "orwg"},
+		"events": [{"action": "explode"}],
+		"requests": {"all_pairs": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := sc.Run(&out); err == nil {
+		t.Error("unknown action did not error")
+	}
+}
+
+func TestADSetSpecRoundTrip(t *testing.T) {
+	var s ADSetSpec
+	if err := s.UnmarshalJSON([]byte(`"*"`)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.toADSet().IsUniversal() {
+		t.Error("star not universal")
+	}
+	if err := s.UnmarshalJSON([]byte(`[1,2,3]`)); err != nil {
+		t.Fatal(err)
+	}
+	set := s.toADSet()
+	if set.IsUniversal() || !set.Contains(2) || set.Contains(4) {
+		t.Errorf("list set wrong: %v", set)
+	}
+	if err := s.UnmarshalJSON([]byte(`"all"`)); err == nil {
+		t.Error("bad string accepted")
+	}
+	b, err := s.MarshalJSON()
+	if err != nil || string(b) == "" {
+		t.Errorf("marshal: %s %v", b, err)
+	}
+	// Zero value marshals as "*" and means universal.
+	var zero ADSetSpec
+	if b, _ := zero.MarshalJSON(); string(b) != `"*"` {
+		t.Errorf("zero marshals as %s", b)
+	}
+	if !zero.toADSet().IsUniversal() {
+		t.Error("zero value not universal")
+	}
+}
+
+func TestTermSpecDefaults(t *testing.T) {
+	ts := TermSpec{Advertiser: 5}
+	term := ts.toTerm()
+	if term.Cost != 1 {
+		t.Errorf("default cost = %d", term.Cost)
+	}
+	if !term.Sources.IsUniversal() || !term.Hours.IsAlways() {
+		t.Error("defaults not open")
+	}
+	start, end := uint8(9), uint8(17)
+	ts2 := TermSpec{Advertiser: 5, QOS: []uint8{0, 2}, HourStart: &start, HourEnd: &end, Cost: 7}
+	term2 := ts2.toTerm()
+	if !term2.QOS.Contains(2) || term2.QOS.Contains(1) {
+		t.Error("QOS classes wrong")
+	}
+	if term2.Hours.Start != 9 || term2.Hours.End != 17 || term2.Cost != 7 {
+		t.Errorf("term2 = %+v", term2)
+	}
+}

@@ -1,0 +1,135 @@
+// Package sim provides the deterministic discrete-event simulation engine on
+// which all routing protocols in this repository run.
+//
+// Simulated time is measured in integer microseconds. Events that share a
+// timestamp are executed in the order they were scheduled, so a run is fully
+// reproducible given the same seed and scenario.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", int64(t)/int64(Second), int64(t)%int64(Second))
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Processed counts events executed so far.
+	Processed uint64
+}
+
+// NewEngine returns an engine with an empty queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// Now) panics: it would make the run non-causal.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop aborts the current Run/RunUntil loop after the in-flight event
+// finishes. Further Run calls resume normally.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty. It returns the time of the
+// last executed event.
+func (e *Engine) Run() Time {
+	return e.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes events with timestamps <= limit, in order. It returns
+// the current time when it stops (the last event time, or limit if the queue
+// still holds later events).
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event if any is pending, reporting whether one
+// was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	e.now = next.at
+	e.Processed++
+	next.fn()
+	return true
+}

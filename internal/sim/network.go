@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ad"
+)
+
+// Node is the behaviour of one AD's routing entity (its route server /
+// border gateway complex, abstracted to a single process per the paper's
+// AD-level model).
+//
+// All callbacks run inside the event loop; implementations must not block
+// and must not retain the payload slice beyond the call.
+type Node interface {
+	// ID returns the AD this node represents.
+	ID() ad.ID
+	// Start is invoked once at simulation time zero, before any messages.
+	Start(nw *Network)
+	// Receive is invoked when a protocol message from an adjacent AD
+	// arrives. payload is the marshalled wire message.
+	Receive(nw *Network, from ad.ID, payload []byte)
+	// LinkDown is invoked when an incident link fails.
+	LinkDown(nw *Network, neighbor ad.ID)
+	// LinkUp is invoked when an incident link recovers.
+	LinkUp(nw *Network, neighbor ad.ID)
+}
+
+// Stats aggregates traffic counters for a run. Counters are cumulative and
+// never reset by the network itself.
+type Stats struct {
+	MessagesSent     uint64
+	BytesSent        uint64
+	MessagesDropped  uint64 // sends attempted over down/absent links
+	MessagesByKind   map[string]uint64
+	BytesByKind      map[string]uint64
+	DeliveredByLink  map[[2]ad.ID]uint64
+	MaxQueuedPending int
+}
+
+func newStats() *Stats {
+	return &Stats{
+		MessagesByKind:  make(map[string]uint64),
+		BytesByKind:     make(map[string]uint64),
+		DeliveredByLink: make(map[[2]ad.ID]uint64),
+	}
+}
+
+// KindsSorted returns the message kinds seen, sorted, for stable reporting.
+func (s *Stats) KindsSorted() []string {
+	kinds := make([]string, 0, len(s.MessagesByKind))
+	for k := range s.MessagesByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Network couples the event engine, the AD graph, and the per-AD nodes, and
+// simulates message transmission over inter-AD links with propagation delay.
+//
+// Links are FIFO: delay is constant per link, so delivery order matches send
+// order. A link can be failed and restored during the run; messages in
+// flight when a link fails are lost (they were "on the wire").
+type Network struct {
+	Engine *Engine
+	Graph  *ad.Graph
+	Stats  *Stats
+
+	nodes map[ad.ID]Node
+	down  map[[2]ad.ID]bool
+	// epoch increments on each link failure; in-flight messages stamped
+	// with an older epoch for that link are dropped on delivery.
+	linkEpoch map[[2]ad.ID]uint64
+	// busyUntil tracks each directed link's transmitter: a message may
+	// not start serializing before the previous one finished, which
+	// keeps links FIFO even with size-dependent transmission delays.
+	busyUntil map[[2]ad.ID]Time
+	rng       *rand.Rand
+
+	// DefaultDelay is used for links whose DelayMicros is zero.
+	DefaultDelay Time
+
+	// lastSend records the time of the most recent Send, used by
+	// convergence detection.
+	lastSend Time
+
+	// Trace, if non-nil, receives a line per delivered message. Used by
+	// tests and the CLI's -trace flag.
+	Trace func(format string, args ...interface{})
+}
+
+// NewNetwork builds a network over graph with all links initially up.
+// Seed fixes the RNG for any randomized behaviour (delivery jitter is off by
+// default, so most runs never consume randomness).
+func NewNetwork(g *ad.Graph, seed int64) *Network {
+	return &Network{
+		Engine:       NewEngine(),
+		Graph:        g,
+		Stats:        newStats(),
+		nodes:        make(map[ad.ID]Node),
+		down:         make(map[[2]ad.ID]bool),
+		linkEpoch:    make(map[[2]ad.ID]uint64),
+		busyUntil:    make(map[[2]ad.ID]Time),
+		rng:          rand.New(rand.NewSource(seed)),
+		DefaultDelay: 10 * Millisecond,
+	}
+}
+
+// AddNode registers the node for its AD. Registering two nodes for one AD
+// panics: it is always a harness bug.
+func (nw *Network) AddNode(n Node) {
+	if _, dup := nw.nodes[n.ID()]; dup {
+		panic(fmt.Sprintf("sim: duplicate node for %v", n.ID()))
+	}
+	nw.nodes[n.ID()] = n
+}
+
+// Node returns the registered node for id, or nil.
+func (nw *Network) Node(id ad.ID) Node { return nw.nodes[id] }
+
+// Nodes returns all registered nodes sorted by AD ID.
+func (nw *Network) Nodes() []Node {
+	ids := make([]ad.ID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = nw.nodes[id]
+	}
+	return out
+}
+
+// Rand returns the network's deterministic RNG.
+func (nw *Network) Rand() *rand.Rand { return nw.rng }
+
+// Now returns the current simulated time.
+func (nw *Network) Now() Time { return nw.Engine.Now() }
+
+// After schedules fn after d; it is the timer facility for nodes.
+func (nw *Network) After(d Time, fn func()) { nw.Engine.After(d, fn) }
+
+// LastSend returns the time of the most recent message transmission, which
+// convergence detection uses as a quiescence marker.
+func (nw *Network) LastSend() Time { return nw.lastSend }
+
+func linkKey(a, b ad.ID) [2]ad.ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ad.ID{a, b}
+}
+
+// LinkIsUp reports whether the link between a and b exists and is currently
+// up.
+func (nw *Network) LinkIsUp(a, b ad.ID) bool {
+	if !nw.Graph.HasLink(a, b) {
+		return false
+	}
+	return !nw.down[linkKey(a, b)]
+}
+
+// UpNeighbors returns the neighbors of id reachable over currently-up links,
+// in ascending order.
+func (nw *Network) UpNeighbors(id ad.ID) []ad.ID {
+	all := nw.Graph.Neighbors(id)
+	out := all[:0]
+	for _, n := range all {
+		if nw.LinkIsUp(id, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Send transmits a marshalled protocol message from one AD to an adjacent
+// AD. kind labels the message for the statistics tables. Send returns false
+// (and counts a drop) if the ADs are not adjacent or the link is down.
+func (nw *Network) Send(kind string, from, to ad.ID, payload []byte) bool {
+	link, ok := nw.Graph.LinkBetween(from, to)
+	if !ok || nw.down[linkKey(from, to)] {
+		nw.Stats.MessagesDropped++
+		return false
+	}
+	prop := Time(link.DelayMicros)
+	if prop == 0 {
+		prop = nw.DefaultDelay
+	}
+	// Serialization: the directed transmitter is busy until the previous
+	// message finished clocking out, so links stay FIFO.
+	dirKey := [2]ad.ID{from, to}
+	start := nw.Now()
+	if busy := nw.busyUntil[dirKey]; busy > start {
+		start = busy
+	}
+	var tx Time
+	if link.BandwidthBps > 0 {
+		tx = Time(int64(len(payload)) * 8 * int64(Second) / link.BandwidthBps)
+	}
+	nw.busyUntil[dirKey] = start + tx
+	delay := (start - nw.Now()) + tx + prop
+	nw.Stats.MessagesSent++
+	nw.Stats.BytesSent += uint64(len(payload))
+	nw.Stats.MessagesByKind[kind]++
+	nw.Stats.BytesByKind[kind] += uint64(len(payload))
+	nw.lastSend = nw.Now()
+	key := linkKey(from, to)
+	epoch := nw.linkEpoch[key]
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	nw.Engine.After(delay, func() {
+		// A failure while the message was in flight loses it.
+		if nw.down[key] || nw.linkEpoch[key] != epoch {
+			nw.Stats.MessagesDropped++
+			return
+		}
+		nw.Stats.DeliveredByLink[key]++
+		if nw.Trace != nil {
+			nw.Trace("%v %s %v->%v %dB", nw.Now(), kind, from, to, len(buf))
+		}
+		if node := nw.nodes[to]; node != nil {
+			node.Receive(nw, from, buf)
+		}
+	})
+	if p := nw.Engine.Pending(); p > nw.Stats.MaxQueuedPending {
+		nw.Stats.MaxQueuedPending = p
+	}
+	return true
+}
+
+// Flood sends payload to every up neighbor of from except those in skip.
+// It returns the number of copies sent.
+func (nw *Network) Flood(kind string, from ad.ID, payload []byte, skip ...ad.ID) int {
+	sent := 0
+	for _, n := range nw.UpNeighbors(from) {
+		skipped := false
+		for _, s := range skip {
+			if n == s {
+				skipped = true
+				break
+			}
+		}
+		if skipped {
+			continue
+		}
+		if nw.Send(kind, from, n, payload) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// FailLink marks the link between a and b as down and notifies both
+// endpoints' nodes immediately (the paper's model assumes border gateways
+// detect adjacent link failures directly). In-flight messages are lost.
+func (nw *Network) FailLink(a, b ad.ID) error {
+	if !nw.Graph.HasLink(a, b) {
+		return fmt.Errorf("sim: no link %v-%v", a, b)
+	}
+	key := linkKey(a, b)
+	if nw.down[key] {
+		return nil
+	}
+	nw.down[key] = true
+	nw.linkEpoch[key]++
+	if n := nw.nodes[a]; n != nil {
+		n.LinkDown(nw, b)
+	}
+	if n := nw.nodes[b]; n != nil {
+		n.LinkDown(nw, a)
+	}
+	return nil
+}
+
+// RestoreLink brings a failed link back up and notifies both endpoints.
+func (nw *Network) RestoreLink(a, b ad.ID) error {
+	if !nw.Graph.HasLink(a, b) {
+		return fmt.Errorf("sim: no link %v-%v", a, b)
+	}
+	key := linkKey(a, b)
+	if !nw.down[key] {
+		return nil
+	}
+	delete(nw.down, key)
+	if n := nw.nodes[a]; n != nil {
+		n.LinkUp(nw, b)
+	}
+	if n := nw.nodes[b]; n != nil {
+		n.LinkUp(nw, a)
+	}
+	return nil
+}
+
+// Start invokes Start on every node (in AD order) at the current time.
+func (nw *Network) Start() {
+	for _, n := range nw.Nodes() {
+		n.Start(nw)
+	}
+}
+
+// RunToQuiescence starts (if not yet started) and runs the event loop until
+// the queue drains or limit is reached. It returns the convergence time
+// (time of the last message transmission) and whether the queue drained
+// before the limit.
+func (nw *Network) RunToQuiescence(limit Time) (Time, bool) {
+	end := nw.Engine.RunUntil(limit)
+	return nw.lastSend, end < limit || nw.Engine.Pending() == 0
+}

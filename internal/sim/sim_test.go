@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 0) })
+	e.At(10, func() { order = append(order, 2) }) // same time: FIFO by seq
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v, want [0 1 2]", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10", e.Now())
+	}
+	if e.Processed != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(1, func() {
+		e.After(2, func() { fired = append(fired, e.Now()) })
+		e.After(1, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Errorf("fired = %v, want [2 3]", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(15, func() { ran++ })
+	now := e.RunUntil(10)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if now != 10 {
+		t.Errorf("RunUntil returned %v, want 10", now)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Errorf("after Run, ran = %d, want 2", ran)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (Stop should halt loop)", ran)
+	}
+	e.Run() // resumes
+	if ran != 2 {
+		t.Errorf("after resume ran = %d, want 2", ran)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(3, func() { ran++ })
+	if !e.Step() {
+		t.Fatal("Step = false with pending event")
+	}
+	if ran != 1 || e.Now() != 3 {
+		t.Errorf("ran=%d now=%v", ran, e.Now())
+	}
+	if e.Step() {
+		t.Error("Step on empty queue = true")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (2*Second + 5*Microsecond).String(); got != "2.000005s" {
+		t.Errorf("Time.String = %q", got)
+	}
+}
+
+// echoNode replies "pong" to any message containing "ping".
+type echoNode struct {
+	id       ad.ID
+	received []string
+	downs    []ad.ID
+	ups      []ad.ID
+}
+
+func (n *echoNode) ID() ad.ID         { return n.id }
+func (n *echoNode) Start(nw *Network) {}
+func (n *echoNode) Receive(nw *Network, from ad.ID, payload []byte) {
+	n.received = append(n.received, string(payload))
+	if string(payload) == "ping" {
+		nw.Send("pong", n.id, from, []byte("pong"))
+	}
+}
+func (n *echoNode) LinkDown(nw *Network, nb ad.ID) { n.downs = append(n.downs, nb) }
+func (n *echoNode) LinkUp(nw *Network, nb ad.ID)   { n.ups = append(n.ups, nb) }
+
+func twoNodeNet(t *testing.T) (*Network, *echoNode, *echoNode) {
+	t.Helper()
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: a, B: b, DelayMicros: int64(5 * Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(g, 1)
+	na := &echoNode{id: a}
+	nb := &echoNode{id: b}
+	nw.AddNode(na)
+	nw.AddNode(nb)
+	return nw, na, nb
+}
+
+func TestNetworkSendDelivery(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	if !nw.Send("ping", na.id, nb.id, []byte("ping")) {
+		t.Fatal("Send = false")
+	}
+	nw.Engine.Run()
+	if len(nb.received) != 1 || nb.received[0] != "ping" {
+		t.Errorf("b received %v", nb.received)
+	}
+	if len(na.received) != 1 || na.received[0] != "pong" {
+		t.Errorf("a received %v", na.received)
+	}
+	if nw.Stats.MessagesSent != 2 {
+		t.Errorf("MessagesSent = %d, want 2", nw.Stats.MessagesSent)
+	}
+	if nw.Stats.BytesSent != 8 {
+		t.Errorf("BytesSent = %d, want 8", nw.Stats.BytesSent)
+	}
+	if nw.Stats.MessagesByKind["ping"] != 1 || nw.Stats.MessagesByKind["pong"] != 1 {
+		t.Errorf("by kind = %v", nw.Stats.MessagesByKind)
+	}
+	// Delay is 5ms each way.
+	if nw.Engine.Now() != 10*Millisecond {
+		t.Errorf("final time = %v, want 10ms", nw.Engine.Now())
+	}
+}
+
+func TestNetworkSendNonAdjacent(t *testing.T) {
+	nw, na, _ := twoNodeNet(t)
+	if nw.Send("x", na.id, 99, []byte("x")) {
+		t.Error("Send to non-adjacent returned true")
+	}
+	if nw.Stats.MessagesDropped != 1 {
+		t.Errorf("drops = %d, want 1", nw.Stats.MessagesDropped)
+	}
+}
+
+func TestNetworkFailLink(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	if err := nw.FailLink(na.id, nb.id); err != nil {
+		t.Fatal(err)
+	}
+	if len(na.downs) != 1 || na.downs[0] != nb.id {
+		t.Errorf("a downs = %v", na.downs)
+	}
+	if len(nb.downs) != 1 || nb.downs[0] != na.id {
+		t.Errorf("b downs = %v", nb.downs)
+	}
+	if nw.Send("ping", na.id, nb.id, []byte("ping")) {
+		t.Error("Send over failed link returned true")
+	}
+	if nw.LinkIsUp(na.id, nb.id) {
+		t.Error("LinkIsUp after failure")
+	}
+	// Idempotent failure.
+	if err := nw.FailLink(na.id, nb.id); err != nil {
+		t.Errorf("second FailLink: %v", err)
+	}
+	if len(na.downs) != 1 {
+		t.Errorf("second FailLink re-notified: %v", na.downs)
+	}
+	if err := nw.RestoreLink(na.id, nb.id); err != nil {
+		t.Fatal(err)
+	}
+	if len(na.ups) != 1 {
+		t.Errorf("a ups = %v", na.ups)
+	}
+	if !nw.LinkIsUp(na.id, nb.id) {
+		t.Error("LinkIsUp after restore = false")
+	}
+	if err := nw.FailLink(1, 42); err == nil {
+		t.Error("FailLink on absent link: want error")
+	}
+}
+
+func TestNetworkInFlightLossOnFailure(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	nw.Send("ping", na.id, nb.id, []byte("ping"))
+	// Fail the link while the message is in flight.
+	nw.Engine.At(1*Millisecond, func() { nw.FailLink(na.id, nb.id) })
+	nw.Engine.Run()
+	if len(nb.received) != 0 {
+		t.Errorf("message delivered over failed link: %v", nb.received)
+	}
+	if nw.Stats.MessagesDropped == 0 {
+		t.Error("in-flight loss not counted as drop")
+	}
+}
+
+func TestNetworkInFlightLossAcrossRestore(t *testing.T) {
+	// A message in flight when the link fails must not be delivered even
+	// if the link is restored before its arrival time (epoch check).
+	nw, na, nb := twoNodeNet(t)
+	nw.Send("ping", na.id, nb.id, []byte("ping"))
+	nw.Engine.At(1*Millisecond, func() {
+		nw.FailLink(na.id, nb.id)
+		nw.RestoreLink(na.id, nb.id)
+	})
+	nw.Engine.Run()
+	if len(nb.received) != 0 {
+		t.Errorf("stale in-flight message delivered after restore: %v", nb.received)
+	}
+}
+
+func TestNetworkFlood(t *testing.T) {
+	g := ad.NewGraph()
+	hub := g.AddAD("hub", ad.Transit, ad.Backbone)
+	var leaves []ad.ID
+	for i := 0; i < 4; i++ {
+		leaf := g.AddAD("leaf", ad.Stub, ad.Campus)
+		leaves = append(leaves, leaf)
+		if err := g.AddLink(ad.Link{A: hub, B: leaf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw := NewNetwork(g, 1)
+	hn := &echoNode{id: hub}
+	nw.AddNode(hn)
+	var leafNodes []*echoNode
+	for _, l := range leaves {
+		n := &echoNode{id: l}
+		leafNodes = append(leafNodes, n)
+		nw.AddNode(n)
+	}
+	sent := nw.Flood("lsa", hub, []byte("x"), leaves[0])
+	if sent != 3 {
+		t.Errorf("Flood sent %d, want 3 (one skipped)", sent)
+	}
+	nw.Engine.Run()
+	if len(leafNodes[0].received) != 0 {
+		t.Error("skipped neighbor received flood")
+	}
+	for _, n := range leafNodes[1:] {
+		if len(n.received) != 1 {
+			t.Errorf("leaf %v received %d, want 1", n.id, len(n.received))
+		}
+	}
+}
+
+func TestNetworkUpNeighbors(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	if got := nw.UpNeighbors(na.id); len(got) != 1 || got[0] != nb.id {
+		t.Errorf("UpNeighbors = %v", got)
+	}
+	nw.FailLink(na.id, nb.id)
+	if got := nw.UpNeighbors(na.id); len(got) != 0 {
+		t.Errorf("UpNeighbors after failure = %v", got)
+	}
+}
+
+func TestNetworkDuplicateNodePanics(t *testing.T) {
+	nw, na, _ := twoNodeNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	nw.AddNode(&echoNode{id: na.id})
+}
+
+func TestNetworkPayloadIsolation(t *testing.T) {
+	// The network must copy payloads so sender reuse of the buffer cannot
+	// corrupt in-flight messages.
+	nw, na, nb := twoNodeNet(t)
+	buf := []byte("ping")
+	nw.Send("ping", na.id, nb.id, buf)
+	buf[0] = 'X'
+	nw.Engine.Run()
+	if nb.received[0] != "ping" {
+		t.Errorf("payload mutated in flight: %q", nb.received[0])
+	}
+}
+
+func TestRunToQuiescence(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	nw.Send("ping", na.id, nb.id, []byte("ping"))
+	conv, ok := nw.RunToQuiescence(1 * Second)
+	if !ok {
+		t.Error("RunToQuiescence reported not quiescent")
+	}
+	// The last send is the pong at t=5ms.
+	if conv != 5*Millisecond {
+		t.Errorf("convergence time = %v, want 5ms", conv)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	nodes := nw.Nodes()
+	if len(nodes) != 2 || nodes[0].ID() != na.id || nodes[1].ID() != nb.id {
+		t.Errorf("Nodes() order wrong: %v %v", nodes[0].ID(), nodes[1].ID())
+	}
+	if nw.Node(na.id) != na || nw.Node(99) != nil {
+		t.Error("Node lookup wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, Time) {
+		nw, na, nb := twoNodeNet(t)
+		for i := 0; i < 10; i++ {
+			nw.Send("ping", na.id, nb.id, []byte("ping"))
+		}
+		nw.Engine.Run()
+		return nw.Stats.MessagesSent, nw.Engine.Now()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 || t1 != t2 {
+		t.Errorf("non-deterministic: (%d,%v) vs (%d,%v)", m1, t1, m2, t2)
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	var lines []string
+	nw.Trace = func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	}
+	nw.Send("ping", na.id, nb.id, []byte("ping"))
+	nw.Engine.Run()
+	if len(lines) == 0 {
+		t.Error("trace produced no lines")
+	}
+}
+
+func TestStatsKindsSorted(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	nw.Send("zeta", na.id, nb.id, []byte("x"))
+	nw.Send("alpha", na.id, nb.id, []byte("x"))
+	kinds := nw.Stats.KindsSorted()
+	if len(kinds) != 2 || kinds[0] != "alpha" || kinds[1] != "zeta" {
+		t.Errorf("KindsSorted = %v", kinds)
+	}
+}
+
+func TestMaxQueuedPending(t *testing.T) {
+	nw, na, nb := twoNodeNet(t)
+	for i := 0; i < 5; i++ {
+		nw.Send("ping", na.id, nb.id, []byte("p"))
+	}
+	if nw.Stats.MaxQueuedPending < 5 {
+		t.Errorf("MaxQueuedPending = %d, want >= 5", nw.Stats.MaxQueuedPending)
+	}
+	if nw.LastSend() != 0 {
+		t.Errorf("LastSend = %v, want 0 (all sends at t=0)", nw.LastSend())
+	}
+}
+
+func TestSerializationDelayAndFIFO(t *testing.T) {
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	// 1ms propagation, 8000 bps: a 100-byte message takes 100ms to clock
+	// out — serialization dominates.
+	if err := g.AddLink(ad.Link{A: a, B: b, DelayMicros: int64(1 * Millisecond), BandwidthBps: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(g, 1)
+	var arrivals []Time
+	var order []byte
+	nb := &recordNode{id: b, onRecv: func(p []byte, at Time) {
+		arrivals = append(arrivals, at)
+		order = append(order, p[0])
+	}}
+	nw.AddNode(&echoNode{id: a})
+	nw.AddNode(nb)
+	// A big message followed by a tiny one: without transmitter
+	// bookkeeping the tiny one would overtake it.
+	nw.Send("big", a, b, make([]byte, 100))
+	nw.Send("tiny", a, b, []byte{9})
+	nw.Engine.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// big: 100B*8/8000bps = 100ms tx + 1ms prop = 101ms.
+	if arrivals[0] != 101*Millisecond {
+		t.Errorf("big arrival = %v, want 101ms", arrivals[0])
+	}
+	// tiny: waits for transmitter until 100ms, + 1ms tx + 1ms prop = 102ms.
+	if arrivals[1] != 102*Millisecond {
+		t.Errorf("tiny arrival = %v, want 102ms", arrivals[1])
+	}
+	if order[0] != 0 || order[1] != 9 {
+		t.Errorf("FIFO violated: order = %v", order)
+	}
+}
+
+// recordNode records payload arrivals with timestamps.
+type recordNode struct {
+	id     ad.ID
+	onRecv func(p []byte, at Time)
+}
+
+func (n *recordNode) ID() ad.ID                      { return n.id }
+func (n *recordNode) Start(nw *Network)              {}
+func (n *recordNode) LinkDown(nw *Network, nb ad.ID) {}
+func (n *recordNode) LinkUp(nw *Network, nb ad.ID)   {}
+func (n *recordNode) Receive(nw *Network, from ad.ID, payload []byte) {
+	n.onRecv(payload, nw.Now())
+}

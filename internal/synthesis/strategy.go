@@ -1,0 +1,309 @@
+package synthesis
+
+import (
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// StrategyStats instruments a synthesis strategy for experiment E7.
+type StrategyStats struct {
+	// PrecomputeExpansions is search work done up front.
+	PrecomputeExpansions int
+	// OnDemandExpansions is search work done at request time.
+	OnDemandExpansions int
+	// Hits are requests answered from the precomputed table.
+	Hits int
+	// Misses are requests that required an on-demand computation.
+	Misses int
+	// Failures are requests for which no legal route exists.
+	Failures int
+	// CacheEntries is the current size of the route table.
+	CacheEntries int
+}
+
+// Strategy is a route synthesis strategy: given a traffic request, produce a
+// legal route, accounting the work performed.
+type Strategy interface {
+	// Route returns a legal route for req, or false if none exists.
+	Route(req policy.Request) (ad.Path, bool)
+	// Stats returns cumulative instrumentation.
+	Stats() StrategyStats
+	// Invalidate discards cached state after a topology/policy change.
+	Invalidate()
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// OnDemand computes every route at request time: minimal state, maximal
+// setup latency (the paper: "on demand computation may introduce excessive
+// latency at setup time", §5.4.1).
+type OnDemand struct {
+	g     *ad.Graph
+	db    *policy.DB
+	stats StrategyStats
+}
+
+// NewOnDemand returns an on-demand strategy over the given view.
+func NewOnDemand(g *ad.Graph, db *policy.DB) *OnDemand {
+	return &OnDemand{g: g, db: db}
+}
+
+// Name implements Strategy.
+func (s *OnDemand) Name() string { return "on-demand" }
+
+// Route implements Strategy.
+func (s *OnDemand) Route(req policy.Request) (ad.Path, bool) {
+	res := FindRoute(s.g, s.db, req)
+	s.stats.OnDemandExpansions += res.Expanded
+	s.stats.Misses++
+	if !res.Found {
+		s.stats.Failures++
+		return nil, false
+	}
+	return res.Path, true
+}
+
+// Stats implements Strategy.
+func (s *OnDemand) Stats() StrategyStats { return s.stats }
+
+// Invalidate implements Strategy (no cached state).
+func (s *OnDemand) Invalidate() {}
+
+// cacheKey identifies a precomputed route. Hour is quantized out: routes
+// are recomputed only when term windows change legality, which the
+// strategies treat as an invalidation event.
+type cacheKey struct {
+	src, dst ad.ID
+	qos      policy.QOS
+	uci      policy.UCI
+}
+
+func keyOf(req policy.Request) cacheKey {
+	return cacheKey{src: req.Src, dst: req.Dst, qos: req.QOS, uci: req.UCI}
+}
+
+// Precomputed computes routes for an anticipated request population up
+// front. Requests outside the precomputed set fail unless they hit the
+// table ("precomputation of all policy routes in a large internet is
+// computationally intractable", §5.4.1 — this strategy makes that cost
+// measurable).
+type Precomputed struct {
+	g     *ad.Graph
+	db    *policy.DB
+	reqs  []policy.Request
+	table map[cacheKey]ad.Path
+	stats StrategyStats
+}
+
+// NewPrecomputed builds the table for the given request population.
+func NewPrecomputed(g *ad.Graph, db *policy.DB, reqs []policy.Request) *Precomputed {
+	s := &Precomputed{g: g, db: db, reqs: reqs}
+	s.build()
+	return s
+}
+
+func (s *Precomputed) build() {
+	s.table = make(map[cacheKey]ad.Path, len(s.reqs))
+	for _, req := range s.reqs {
+		res := FindRoute(s.g, s.db, req)
+		s.stats.PrecomputeExpansions += res.Expanded
+		if res.Found {
+			s.table[keyOf(req)] = res.Path
+		}
+	}
+	s.stats.CacheEntries = len(s.table)
+}
+
+// Name implements Strategy.
+func (s *Precomputed) Name() string { return "precomputed" }
+
+// Route implements Strategy.
+func (s *Precomputed) Route(req policy.Request) (ad.Path, bool) {
+	if p, ok := s.table[keyOf(req)]; ok {
+		s.stats.Hits++
+		return p, true
+	}
+	s.stats.Misses++
+	s.stats.Failures++
+	return nil, false
+}
+
+// Stats implements Strategy.
+func (s *Precomputed) Stats() StrategyStats {
+	s.stats.CacheEntries = len(s.table)
+	return s.stats
+}
+
+// Invalidate rebuilds the whole table, charging precompute work again.
+func (s *Precomputed) Invalidate() {
+	prevHits, prevMisses, prevFail := s.stats.Hits, s.stats.Misses, s.stats.Failures
+	prevPre := s.stats.PrecomputeExpansions
+	s.stats = StrategyStats{Hits: prevHits, Misses: prevMisses, Failures: prevFail, PrecomputeExpansions: prevPre}
+	s.build()
+}
+
+// Pruned is a heuristic precomputation strategy in the direction the paper
+// sketches ("precomputation could use heuristics to prune the search and
+// limit it to commonly used routes", §5.4.1): for each source it precomputes
+// routes only to destinations within HopRadius AD hops, on the observation
+// that inter-AD traffic is dominated by nearby destinations; everything
+// farther is computed on demand and cached.
+type Pruned struct {
+	g     *ad.Graph
+	db    *policy.DB
+	srcs  []ad.ID
+	class func(policy.Request) bool
+	// HopRadius bounds the precomputed neighbourhood.
+	HopRadius int
+	table     map[cacheKey]ad.Path
+	stats     StrategyStats
+}
+
+// NewPruned builds the pruned-precompute strategy for the given sources.
+func NewPruned(g *ad.Graph, db *policy.DB, srcs []ad.ID, hopRadius int) *Pruned {
+	if hopRadius < 1 {
+		hopRadius = 2
+	}
+	s := &Pruned{g: g, db: db, srcs: srcs, HopRadius: hopRadius}
+	s.build()
+	return s
+}
+
+// withinRadius returns the ADs reachable from src within r hops (BFS on the
+// raw topology, policy-blind — it is only a pruning heuristic).
+func (s *Pruned) withinRadius(src ad.ID, r int) []ad.ID {
+	depth := map[ad.ID]int{src: 0}
+	queue := []ad.ID{src}
+	var out []ad.ID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if depth[cur] >= r {
+			continue
+		}
+		for _, nb := range s.g.Neighbors(cur) {
+			if _, seen := depth[nb]; seen {
+				continue
+			}
+			depth[nb] = depth[cur] + 1
+			out = append(out, nb)
+			queue = append(queue, nb)
+		}
+	}
+	return out
+}
+
+func (s *Pruned) build() {
+	s.table = make(map[cacheKey]ad.Path)
+	for _, src := range s.srcs {
+		for _, dst := range s.withinRadius(src, s.HopRadius) {
+			req := policy.Request{Src: src, Dst: dst, Hour: 12}
+			res := FindRoute(s.g, s.db, req)
+			s.stats.PrecomputeExpansions += res.Expanded
+			if res.Found {
+				s.table[keyOf(req)] = res.Path
+			}
+		}
+	}
+	s.stats.CacheEntries = len(s.table)
+}
+
+// Name implements Strategy.
+func (s *Pruned) Name() string { return "pruned" }
+
+// Route implements Strategy.
+func (s *Pruned) Route(req policy.Request) (ad.Path, bool) {
+	if p, ok := s.table[keyOf(req)]; ok {
+		s.stats.Hits++
+		return p, true
+	}
+	s.stats.Misses++
+	res := FindRoute(s.g, s.db, req)
+	s.stats.OnDemandExpansions += res.Expanded
+	if !res.Found {
+		s.stats.Failures++
+		return nil, false
+	}
+	s.table[keyOf(req)] = res.Path
+	return res.Path, true
+}
+
+// Stats implements Strategy.
+func (s *Pruned) Stats() StrategyStats {
+	s.stats.CacheEntries = len(s.table)
+	return s.stats
+}
+
+// Invalidate rebuilds the neighbourhood tables.
+func (s *Pruned) Invalidate() {
+	prev := s.stats
+	s.stats = StrategyStats{Hits: prev.Hits, Misses: prev.Misses, Failures: prev.Failures,
+		PrecomputeExpansions: prev.PrecomputeExpansions, OnDemandExpansions: prev.OnDemandExpansions}
+	s.build()
+}
+
+// Hybrid precomputes routes for a hot set of requests and falls back to
+// on-demand computation (with caching) for the rest — the combination the
+// paper recommends (§5.4.1: "a combination of precomputation and on-demand
+// computation should be used").
+type Hybrid struct {
+	g     *ad.Graph
+	db    *policy.DB
+	hot   []policy.Request
+	table map[cacheKey]ad.Path
+	stats StrategyStats
+}
+
+// NewHybrid builds the hot-set table and returns the strategy.
+func NewHybrid(g *ad.Graph, db *policy.DB, hot []policy.Request) *Hybrid {
+	s := &Hybrid{g: g, db: db, hot: hot}
+	s.build()
+	return s
+}
+
+func (s *Hybrid) build() {
+	s.table = make(map[cacheKey]ad.Path, len(s.hot))
+	for _, req := range s.hot {
+		res := FindRoute(s.g, s.db, req)
+		s.stats.PrecomputeExpansions += res.Expanded
+		if res.Found {
+			s.table[keyOf(req)] = res.Path
+		}
+	}
+	s.stats.CacheEntries = len(s.table)
+}
+
+// Name implements Strategy.
+func (s *Hybrid) Name() string { return "hybrid" }
+
+// Route implements Strategy.
+func (s *Hybrid) Route(req policy.Request) (ad.Path, bool) {
+	if p, ok := s.table[keyOf(req)]; ok {
+		s.stats.Hits++
+		return p, true
+	}
+	s.stats.Misses++
+	res := FindRoute(s.g, s.db, req)
+	s.stats.OnDemandExpansions += res.Expanded
+	if !res.Found {
+		s.stats.Failures++
+		return nil, false
+	}
+	// Demand-filled entries serve later requests from the table.
+	s.table[keyOf(req)] = res.Path
+	return res.Path, true
+}
+
+// Stats implements Strategy.
+func (s *Hybrid) Stats() StrategyStats {
+	s.stats.CacheEntries = len(s.table)
+	return s.stats
+}
+
+// Invalidate drops demand-filled entries and rebuilds the hot set.
+func (s *Hybrid) Invalidate() {
+	prev := s.stats
+	s.stats = StrategyStats{Hits: prev.Hits, Misses: prev.Misses, Failures: prev.Failures,
+		PrecomputeExpansions: prev.PrecomputeExpansions, OnDemandExpansions: prev.OnDemandExpansions}
+	s.build()
+}

@@ -1,0 +1,334 @@
+// Package synthesis implements policy route computation: finding AD-level
+// routes that satisfy both transit policies (Policy Terms) and source route
+// selection criteria.
+//
+// The paper identifies route synthesis as "probably the most difficult
+// aspect" of the link-state source-routing architecture (§6) and calls for
+// simulation of synthesis strategies. This package provides:
+//
+//   - FindRoute: an exact constrained shortest-path search (Dijkstra over
+//     (current, previous) states, since term legality depends on the
+//     previous and next AD in the path).
+//   - EnumeratePaths: bounded DFS enumeration of all legal paths, used as
+//     the ground-truth oracle.
+//   - Precomputed, OnDemand, and Hybrid strategies with instrumentation
+//     (experiment E7).
+package synthesis
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// Result reports the outcome of one route computation.
+type Result struct {
+	// Path is the discovered route (nil if none).
+	Path ad.Path
+	// Cost is the policy cost of Path (links + transit terms).
+	Cost uint32
+	// Expanded counts search-state expansions, the computation-cost
+	// measure used by E3/E7/E8.
+	Expanded int
+	// Found reports whether a legal route exists in the view.
+	Found bool
+}
+
+// state is a Dijkstra search state. Legality of continuing through an AD
+// depends on the previous hop (terms constrain PrevADs) so the state is the
+// (current, previous) pair; when a hop budget applies, hops joins the state.
+type state struct {
+	cur, prev ad.ID
+	hops      int
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	st   state
+	cost uint32
+	seq  uint64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// FindRoute computes the minimum-cost legal route for req over the given
+// graph and policy database. Cost is the sum of link costs and the cheapest
+// permitting term's cost at each transit AD. The source's selection
+// criteria (avoid set, hop budget) are honored.
+//
+// With positive link costs the minimum-cost walk never repeats an AD, so the
+// returned path is loop-free by construction; a final validation guards the
+// invariant regardless.
+func FindRoute(g *ad.Graph, db *policy.DB, req policy.Request) Result {
+	return FindRouteFrom(g, db, req, req.Src, ad.Invalid)
+}
+
+// FindRouteFrom computes the minimum-cost legal continuation of a path for
+// req starting at AD from, which the traffic entered from prev (Invalid when
+// from is the source itself). Hop-by-hop link-state forwarding (paper §5.3)
+// uses this: every transit AD repeats the source's computation from its own
+// position, which is exactly the replicated work the paper criticises.
+//
+// When from is not the source, terms at from must permit the continuation
+// (the entry from prev is part of the legality check at from). The source's
+// selection criteria still apply: the paper notes hop-by-hop routing only
+// stays consistent if "all ADS in the path must be aware of policy related
+// criteria used by the source".
+func FindRouteFrom(g *ad.Graph, db *policy.DB, req policy.Request, from, prev ad.ID) Result {
+	if from == req.Dst {
+		if _, ok := g.AD(from); !ok {
+			return Result{}
+		}
+		return Result{Path: ad.Path{from}, Found: true}
+	}
+	if _, ok := g.AD(from); !ok {
+		return Result{}
+	}
+	if _, ok := g.AD(req.Dst); !ok {
+		return Result{}
+	}
+	crit := db.CriteriaFor(req.Src)
+	trackHops := crit.MaxHops > 0
+
+	dist := make(map[state]uint32)
+	parent := make(map[state]state)
+	start := state{cur: from, prev: prev}
+	dist[start] = 0
+	var q pq
+	var seq uint64
+	heap.Push(&q, pqItem{st: start, cost: 0, seq: seq})
+	expanded := 0
+	var goal state
+	found := false
+
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		st := it.st
+		if d, ok := dist[st]; !ok || it.cost > d {
+			continue
+		}
+		expanded++
+		if st.cur == req.Dst {
+			goal = st
+			found = true
+			break
+		}
+		if trackHops && st.hops >= crit.MaxHops {
+			continue
+		}
+		cur := st.cur
+		// Transit-term cost and legality at cur (not required at the
+		// source itself).
+		for _, link := range g.IncidentLinks(cur) {
+			next, _ := link.Other(cur)
+			if next == st.prev {
+				continue // no immediate backtracking
+			}
+			var termCost uint32
+			if cur != req.Src {
+				t, ok := db.PermitsTransit(cur, req, st.prev, next)
+				if !ok {
+					continue
+				}
+				termCost = t.Cost
+			}
+			// Source criteria: avoid set applies to transit ADs.
+			if next != req.Dst && crit.Avoid.Contains(next) {
+				continue
+			}
+			if crit.Avoid.IsUniversal() && next != req.Dst {
+				continue
+			}
+			ns := state{cur: next, prev: cur}
+			if trackHops {
+				ns.hops = st.hops + 1
+			}
+			nc := it.cost + link.Cost + termCost
+			if d, ok := dist[ns]; ok && nc >= d {
+				continue
+			}
+			dist[ns] = nc
+			parent[ns] = st
+			seq++
+			heap.Push(&q, pqItem{st: ns, cost: nc, seq: seq})
+		}
+	}
+	if !found {
+		return Result{Expanded: expanded}
+	}
+	// Reconstruct.
+	var rev ad.Path
+	for st := goal; ; {
+		rev = append(rev, st.cur)
+		if st == start {
+			break
+		}
+		st = parent[st]
+	}
+	path := rev.Reverse()
+	legal := path.LoopFree()
+	if legal {
+		if from == req.Src {
+			legal = db.PathLegal(path, req)
+		} else {
+			legal = continuationLegal(db, path, req, prev)
+		}
+	}
+	if !legal {
+		// Defensive: should be unreachable with positive costs.
+		return Result{Expanded: expanded}
+	}
+	return Result{Path: path, Cost: dist[goal], Expanded: expanded, Found: true}
+}
+
+// continuationLegal checks a path suffix starting at a transit AD: every AD
+// on it except the final destination needs a permitting term, where the
+// first AD's previous hop is entry.
+func continuationLegal(db *policy.DB, path ad.Path, req policy.Request, entry ad.ID) bool {
+	if len(path) == 0 || path.Dest() != req.Dst {
+		return false
+	}
+	prev := entry
+	for i := 0; i < len(path)-1; i++ {
+		if _, ok := db.PermitsTransit(path[i], req, prev, path[i+1]); !ok {
+			return false
+		}
+		prev = path[i]
+	}
+	return true
+}
+
+// EnumerateConfig bounds EnumeratePaths.
+type EnumerateConfig struct {
+	// MaxPaths stops enumeration after this many legal paths (0 = no
+	// bound; use with care on dense graphs).
+	MaxPaths int
+	// MaxHops bounds path length in AD hops (0 = graph diameter bound of
+	// NumADs-1, i.e. elementary paths only).
+	MaxHops int
+}
+
+// EnumeratePaths returns every legal loop-free path for req, in
+// lexicographic DFS order, subject to the config bounds. It is the oracle
+// against which protocol route availability is measured.
+func EnumeratePaths(g *ad.Graph, db *policy.DB, req policy.Request, cfg EnumerateConfig) []ad.Path {
+	if _, ok := g.AD(req.Src); !ok {
+		return nil
+	}
+	if _, ok := g.AD(req.Dst); !ok {
+		return nil
+	}
+	maxHops := cfg.MaxHops
+	if maxHops <= 0 {
+		maxHops = g.NumADs() - 1
+	}
+	crit := db.CriteriaFor(req.Src)
+	if crit.MaxHops > 0 && crit.MaxHops < maxHops {
+		maxHops = crit.MaxHops
+	}
+	var out []ad.Path
+	visited := map[ad.ID]bool{req.Src: true}
+	path := ad.Path{req.Src}
+
+	var dfs func() bool // returns false when MaxPaths reached
+	dfs = func() bool {
+		cur := path[len(path)-1]
+		if cur == req.Dst {
+			out = append(out, path.Clone())
+			return cfg.MaxPaths == 0 || len(out) < cfg.MaxPaths
+		}
+		if path.Hops() >= maxHops {
+			return true
+		}
+		var prev ad.ID = ad.Invalid
+		if len(path) >= 2 {
+			prev = path[len(path)-2]
+		}
+		for _, next := range g.Neighbors(cur) {
+			if visited[next] {
+				continue
+			}
+			if cur != req.Src {
+				if _, ok := db.PermitsTransit(cur, req, prev, next); !ok {
+					continue
+				}
+			}
+			if next != req.Dst {
+				if crit.Avoid.Contains(next) || crit.Avoid.IsUniversal() {
+					continue
+				}
+			}
+			visited[next] = true
+			path = append(path, next)
+			ok := dfs()
+			path = path[:len(path)-1]
+			delete(visited, next)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if req.Src == req.Dst {
+		return []ad.Path{{req.Src}}
+	}
+	dfs()
+	return out
+}
+
+// RouteExists reports whether any legal route exists for req.
+func RouteExists(g *ad.Graph, db *policy.DB, req policy.Request) bool {
+	return FindRoute(g, db, req).Found
+}
+
+// KShortest returns up to k legal paths ordered by increasing policy cost
+// (ties broken lexicographically). It enumerates legal paths and sorts, so
+// it is intended for modest graphs and bounded k.
+func KShortest(g *ad.Graph, db *policy.DB, req policy.Request, k int, maxHops int) []ad.Path {
+	paths := EnumeratePaths(g, db, req, EnumerateConfig{MaxHops: maxHops})
+	type scored struct {
+		p ad.Path
+		c uint32
+	}
+	var sc []scored
+	for _, p := range paths {
+		c, ok := db.PathCost(g, p, req)
+		if !ok {
+			continue
+		}
+		sc = append(sc, scored{p: p, c: c})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].c != sc[j].c {
+			return sc[i].c < sc[j].c
+		}
+		return sc[i].p.String() < sc[j].p.String()
+	})
+	if k > 0 && len(sc) > k {
+		sc = sc[:k]
+	}
+	out := make([]ad.Path, len(sc))
+	for i, s := range sc {
+		out[i] = s.p
+	}
+	return out
+}

@@ -1,0 +1,498 @@
+package synthesis
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// diamond builds:
+//
+//	    2
+//	  /   \
+//	1       4
+//	  \   /
+//	    3
+//
+// with 1 and 4 stubs, 2 and 3 transit. Link 1-2,2-4 cost 1; 1-3,3-4 cost 1.
+func diamond(t *testing.T) (*ad.Graph, ad.ID, ad.ID, ad.ID, ad.ID) {
+	t.Helper()
+	g := ad.NewGraph()
+	n1 := g.AddAD("s", ad.Stub, ad.Campus)
+	n2 := g.AddAD("t1", ad.Transit, ad.Regional)
+	n3 := g.AddAD("t2", ad.Transit, ad.Regional)
+	n4 := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: n1, B: n2, Cost: 1}, {A: n2, B: n4, Cost: 1},
+		{A: n1, B: n3, Cost: 1}, {A: n3, B: n4, Cost: 1},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, n1, n2, n3, n4
+}
+
+func TestFindRouteBasic(t *testing.T) {
+	g, s, t2, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if !res.Found {
+		t.Fatal("no route found in open diamond")
+	}
+	if res.Path.Hops() != 2 {
+		t.Errorf("path = %v, want 2 hops", res.Path)
+	}
+	if res.Expanded == 0 {
+		t.Error("no expansions recorded")
+	}
+	// Cost: 2 links + 1 transit term (cost 1) = 3.
+	if res.Cost != 3 {
+		t.Errorf("cost = %d, want 3", res.Cost)
+	}
+	_ = t2
+}
+
+func TestFindRouteRespectsTermCost(t *testing.T) {
+	g, s, t2, t3, d := diamond(t)
+	db := policy.NewDB()
+	expensive := policy.OpenTerm(t2, 0)
+	expensive.Cost = 10
+	db.Add(expensive)
+	cheap := policy.OpenTerm(t3, 0)
+	cheap.Cost = 1
+	db.Add(cheap)
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if !res.Found || !res.Path.Contains(t3) {
+		t.Errorf("route should prefer cheap transit %v, got %v", t3, res.Path)
+	}
+}
+
+func TestFindRouteSourceRestriction(t *testing.T) {
+	g, s, t2, t3, d := diamond(t)
+	db := policy.NewDB()
+	// t2 only carries traffic from some other AD; t3 carries s.
+	term2 := policy.OpenTerm(t2, 0)
+	term2.Sources = policy.SetOf(d)
+	db.Add(term2)
+	term3 := policy.OpenTerm(t3, 0)
+	term3.Sources = policy.SetOf(s)
+	db.Add(term3)
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if !res.Found || !res.Path.Contains(t3) || res.Path.Contains(t2) {
+		t.Errorf("route = %v, want via %v only", res.Path, t3)
+	}
+	// Reverse direction must use t2.
+	res = FindRoute(g, db, policy.Request{Src: d, Dst: s})
+	if !res.Found || !res.Path.Contains(t2) {
+		t.Errorf("reverse route = %v, want via %v", res.Path, t2)
+	}
+}
+
+func TestFindRouteNoRoute(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.NewDB() // no terms at all: no transit possible
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if res.Found {
+		t.Errorf("route found with empty policy DB: %v", res.Path)
+	}
+}
+
+func TestFindRouteAvoidCriteria(t *testing.T) {
+	g, s, t2, t3, d := diamond(t)
+	db := policy.OpenDB(g)
+	db.SetCriteria(s, policy.Criteria{Avoid: policy.SetOf(t2)})
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if !res.Found || res.Path.Contains(t2) {
+		t.Errorf("route = %v, must avoid %v", res.Path, t2)
+	}
+	if !res.Path.Contains(t3) {
+		t.Errorf("route = %v, want via %v", res.Path, t3)
+	}
+	// Avoiding both transits leaves no route.
+	db.SetCriteria(s, policy.Criteria{Avoid: policy.SetOf(t2, t3)})
+	if res := FindRoute(g, db, policy.Request{Src: s, Dst: d}); res.Found {
+		t.Errorf("route found despite avoiding all transits: %v", res.Path)
+	}
+}
+
+func TestFindRouteMaxHops(t *testing.T) {
+	// Line 1-2-3-4-5: 4 hops needed; budget of 3 must fail.
+	g := ad.NewGraph()
+	ids := make([]ad.ID, 5)
+	for i := range ids {
+		class := ad.Transit
+		if i == 0 || i == 4 {
+			class = ad.Stub
+		}
+		ids[i] = g.AddAD("n", class, ad.Regional)
+	}
+	for i := 0; i+1 < 5; i++ {
+		if err := g.AddLink(ad.Link{A: ids[i], B: ids[i+1], Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.OpenDB(g)
+	db.SetCriteria(ids[0], policy.Criteria{MaxHops: 3})
+	if res := FindRoute(g, db, policy.Request{Src: ids[0], Dst: ids[4]}); res.Found {
+		t.Errorf("route found beyond hop budget: %v", res.Path)
+	}
+	db.SetCriteria(ids[0], policy.Criteria{MaxHops: 4})
+	if res := FindRoute(g, db, policy.Request{Src: ids[0], Dst: ids[4]}); !res.Found {
+		t.Error("route not found within hop budget")
+	}
+}
+
+func TestFindRoutePrevNextConstraints(t *testing.T) {
+	// Terms that depend on the previous AD: t2 only accepts traffic
+	// entering from s. Build s-t2-t3-d line plus s-t3 link, so t3 can be
+	// entered either from t2 or directly from s.
+	g := ad.NewGraph()
+	s := g.AddAD("s", ad.Stub, ad.Campus)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	t3 := g.AddAD("t3", ad.Transit, ad.Regional)
+	d := g.AddAD("d", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: s, B: t2, Cost: 1}, {A: t2, B: t3, Cost: 1},
+		{A: t3, B: d, Cost: 1}, {A: s, B: t3, Cost: 10},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.NewDB()
+	db.Add(policy.OpenTerm(t2, 0))
+	// t3 only admits traffic arriving directly from the source s.
+	restricted := policy.OpenTerm(t3, 0)
+	restricted.PrevADs = policy.SetOf(s)
+	db.Add(restricted)
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: d})
+	if !res.Found {
+		t.Fatal("no route")
+	}
+	// The cheap path s-t2-t3-d is illegal (t3 entered from t2), so the
+	// expensive s-t3-d must be chosen.
+	want := ad.Path{s, t3, d}
+	if !res.Path.Equal(want) {
+		t.Errorf("path = %v, want %v", res.Path, want)
+	}
+}
+
+func TestFindRouteSelfAndMissing(t *testing.T) {
+	g, s, _, _, _ := diamond(t)
+	db := policy.OpenDB(g)
+	res := FindRoute(g, db, policy.Request{Src: s, Dst: s})
+	if !res.Found || len(res.Path) != 1 {
+		t.Errorf("self route = %+v", res)
+	}
+	if res := FindRoute(g, db, policy.Request{Src: 99, Dst: s}); res.Found {
+		t.Error("route from unknown AD found")
+	}
+	if res := FindRoute(g, db, policy.Request{Src: s, Dst: 99}); res.Found {
+		t.Error("route to unknown AD found")
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	paths := EnumeratePaths(g, db, policy.Request{Src: s, Dst: d}, EnumerateConfig{})
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	for _, p := range paths {
+		if !db.PathLegal(p, policy.Request{Src: s, Dst: d}) {
+			t.Errorf("enumerated illegal path %v", p)
+		}
+	}
+}
+
+func TestEnumeratePathsMaxPaths(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	paths := EnumeratePaths(g, db, policy.Request{Src: s, Dst: d}, EnumerateConfig{MaxPaths: 1})
+	if len(paths) != 1 {
+		t.Errorf("MaxPaths=1 returned %d paths", len(paths))
+	}
+}
+
+func TestEnumeratePathsHonorsPolicy(t *testing.T) {
+	g, s, t2, _, d := diamond(t)
+	db := policy.NewDB()
+	db.Add(policy.OpenTerm(t2, 0)) // only t2 is transit-enabled
+	paths := EnumeratePaths(g, db, policy.Request{Src: s, Dst: d}, EnumerateConfig{})
+	if len(paths) != 1 || !paths[0].Contains(t2) {
+		t.Errorf("paths = %v, want exactly one via %v", paths, t2)
+	}
+}
+
+func TestEnumerateSelf(t *testing.T) {
+	g, s, _, _, _ := diamond(t)
+	db := policy.OpenDB(g)
+	paths := EnumeratePaths(g, db, policy.Request{Src: s, Dst: s}, EnumerateConfig{})
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Errorf("self paths = %v", paths)
+	}
+}
+
+func TestFindRouteAgreesWithOracleOnFigure1(t *testing.T) {
+	topo := topology.Figure1()
+	g := topo.Graph
+	db := policy.OpenDB(g)
+	ids := g.IDs()
+	for _, src := range ids {
+		for _, dst := range ids {
+			if src == dst {
+				continue
+			}
+			req := policy.Request{Src: src, Dst: dst}
+			found := FindRoute(g, db, req).Found
+			oracle := len(EnumeratePaths(g, db, req, EnumerateConfig{MaxPaths: 1})) > 0
+			if found != oracle {
+				t.Errorf("%v: FindRoute=%v oracle=%v", req, found, oracle)
+			}
+		}
+	}
+}
+
+func TestFindRouteOptimalityAgainstEnumeration(t *testing.T) {
+	// Exhaustive check on a restricted policy set: Dijkstra's result must
+	// match the cheapest enumerated path cost.
+	topo := topology.Figure1()
+	g := topo.Graph
+	db := policy.Generate(g, policy.GenConfig{Seed: 5, SourceRestrictionProb: 0.5, SourceFraction: 0.5, MaxTermCost: 4})
+	req := policy.Request{}
+	ids := g.IDs()
+	for _, src := range ids {
+		for _, dst := range ids {
+			if src == dst {
+				continue
+			}
+			req.Src, req.Dst = src, dst
+			res := FindRoute(g, db, req)
+			paths := EnumeratePaths(g, db, req, EnumerateConfig{})
+			if res.Found != (len(paths) > 0) {
+				t.Fatalf("%v: found=%v enumerated=%d", req, res.Found, len(paths))
+			}
+			if !res.Found {
+				continue
+			}
+			best := uint32(1 << 31)
+			for _, p := range paths {
+				if c, ok := db.PathCost(g, p, req); ok && c < best {
+					best = c
+				}
+			}
+			if res.Cost != best {
+				t.Errorf("%v: dijkstra cost %d, oracle best %d (path %v)", req, res.Cost, best, res.Path)
+			}
+		}
+	}
+}
+
+func TestKShortest(t *testing.T) {
+	g, s, t2, t3, d := diamond(t)
+	db := policy.NewDB()
+	cheap := policy.OpenTerm(t2, 0)
+	cheap.Cost = 1
+	db.Add(cheap)
+	dear := policy.OpenTerm(t3, 0)
+	dear.Cost = 5
+	db.Add(dear)
+	paths := KShortest(g, db, policy.Request{Src: s, Dst: d}, 2, 0)
+	if len(paths) != 2 {
+		t.Fatalf("k=2 returned %d", len(paths))
+	}
+	if !paths[0].Contains(t2) || !paths[1].Contains(t3) {
+		t.Errorf("order wrong: %v", paths)
+	}
+	one := KShortest(g, db, policy.Request{Src: s, Dst: d}, 1, 0)
+	if len(one) != 1 {
+		t.Errorf("k=1 returned %d", len(one))
+	}
+}
+
+func TestOnDemandStrategy(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	st := NewOnDemand(g, db)
+	if st.Name() != "on-demand" {
+		t.Errorf("name = %q", st.Name())
+	}
+	p, ok := st.Route(policy.Request{Src: s, Dst: d})
+	if !ok || p == nil {
+		t.Fatal("route failed")
+	}
+	if _, ok := st.Route(policy.Request{Src: s, Dst: 99}); ok {
+		t.Error("route to unknown AD succeeded")
+	}
+	stats := st.Stats()
+	if stats.Misses != 2 || stats.Failures != 1 || stats.OnDemandExpansions == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	st.Invalidate() // no-op, must not panic
+}
+
+func TestPrecomputedStrategy(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	reqs := []policy.Request{{Src: s, Dst: d}}
+	st := NewPrecomputed(g, db, reqs)
+	if st.Name() != "precomputed" {
+		t.Errorf("name = %q", st.Name())
+	}
+	if _, ok := st.Route(policy.Request{Src: s, Dst: d}); !ok {
+		t.Error("precomputed request missed")
+	}
+	if _, ok := st.Route(policy.Request{Src: d, Dst: s}); ok {
+		t.Error("unprecomputed request hit")
+	}
+	stats := st.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.PrecomputeExpansions == 0 || stats.CacheEntries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	before := stats.PrecomputeExpansions
+	st.Invalidate()
+	if st.Stats().PrecomputeExpansions <= before {
+		t.Error("Invalidate did not recompute")
+	}
+	if _, ok := st.Route(policy.Request{Src: s, Dst: d}); !ok {
+		t.Error("route lost after invalidate")
+	}
+}
+
+func TestHybridStrategy(t *testing.T) {
+	g, s, _, _, d := diamond(t)
+	db := policy.OpenDB(g)
+	st := NewHybrid(g, db, []policy.Request{{Src: s, Dst: d}})
+	if st.Name() != "hybrid" {
+		t.Errorf("name = %q", st.Name())
+	}
+	// Hot request: hit.
+	if _, ok := st.Route(policy.Request{Src: s, Dst: d}); !ok {
+		t.Error("hot request failed")
+	}
+	// Cold request: miss then demand-fill.
+	if _, ok := st.Route(policy.Request{Src: d, Dst: s}); !ok {
+		t.Error("cold request failed")
+	}
+	if _, ok := st.Route(policy.Request{Src: d, Dst: s}); !ok {
+		t.Error("demand-filled request failed")
+	}
+	stats := st.Stats()
+	if stats.Hits != 2 || stats.Misses != 1 {
+		t.Errorf("stats = %+v (want 2 hits: 1 hot + 1 demand-filled)", stats)
+	}
+	st.Invalidate()
+	stats = st.Stats()
+	if stats.CacheEntries != 1 {
+		t.Errorf("after invalidate cache = %d, want 1 (hot only)", stats.CacheEntries)
+	}
+}
+
+func TestStrategiesAgreeOnAvailability(t *testing.T) {
+	topo := topology.Generate(topology.Config{Seed: 20, LateralProb: 0.3})
+	g := topo.Graph
+	db := policy.Generate(g, policy.GenConfig{Seed: 21, SourceRestrictionProb: 0.4, SourceFraction: 0.5})
+	var reqs []policy.Request
+	ids := g.IDs()
+	for i := 0; i < len(ids); i++ {
+		for j := 0; j < len(ids); j += 3 {
+			if ids[i] != ids[j] {
+				reqs = append(reqs, policy.Request{Src: ids[i], Dst: ids[j]})
+			}
+		}
+	}
+	pre := NewPrecomputed(g, db, reqs)
+	dem := NewOnDemand(g, db)
+	hyb := NewHybrid(g, db, reqs[:len(reqs)/2])
+	for _, req := range reqs {
+		_, a := pre.Route(req)
+		_, b := dem.Route(req)
+		_, c := hyb.Route(req)
+		if a != b || b != c {
+			t.Errorf("%v: availability disagrees pre=%v dem=%v hyb=%v", req, a, b, c)
+		}
+	}
+}
+
+func TestPrunedStrategy(t *testing.T) {
+	topo := topology.Generate(topology.Config{Seed: 44, LateralProb: 0.2})
+	g := topo.Graph
+	db := policy.OpenDB(g)
+	var stubs []ad.ID
+	for _, info := range g.ADs() {
+		if info.Class == ad.Stub {
+			stubs = append(stubs, info.ID)
+		}
+	}
+	st := NewPruned(g, db, stubs, 2)
+	if st.Name() != "pruned" {
+		t.Errorf("name = %q", st.Name())
+	}
+	stats := st.Stats()
+	if stats.PrecomputeExpansions == 0 || stats.CacheEntries == 0 {
+		t.Fatalf("no precompute work done: %+v", stats)
+	}
+	// Nearby destination (the stub's own regional, 1 hop): table hit.
+	nearReq := policy.Request{Src: stubs[0], Dst: g.Neighbors(stubs[0])[0], Hour: 12}
+	if _, ok := st.Route(nearReq); !ok {
+		t.Fatal("near route failed")
+	}
+	if st.Stats().Hits == 0 {
+		t.Error("near destination was not precomputed")
+	}
+	// Far destination: computed on demand and then cached.
+	var far ad.ID
+	for _, info := range g.ADs() {
+		req := policy.Request{Src: stubs[0], Dst: info.ID, Hour: 12}
+		res := FindRoute(g, db, req)
+		if res.Found && res.Path.Hops() > 2 {
+			far = info.ID
+		}
+	}
+	if far == ad.Invalid {
+		t.Skip("no far destination in this topology")
+	}
+	missesBefore := st.Stats().Misses
+	if _, ok := st.Route(policy.Request{Src: stubs[0], Dst: far, Hour: 12}); !ok {
+		t.Fatal("far route failed")
+	}
+	if st.Stats().Misses != missesBefore+1 {
+		t.Error("far destination unexpectedly precomputed")
+	}
+	hitsBefore := st.Stats().Hits
+	st.Route(policy.Request{Src: stubs[0], Dst: far, Hour: 12})
+	if st.Stats().Hits != hitsBefore+1 {
+		t.Error("demand-filled entry not cached")
+	}
+	// Invalidate keeps counters, rebuilds neighbourhood.
+	pre := st.Stats().PrecomputeExpansions
+	st.Invalidate()
+	if st.Stats().PrecomputeExpansions <= pre {
+		t.Error("Invalidate did not recompute")
+	}
+	// Pruned precompute must be cheaper than precompute-everything.
+	all := core_AllPairs(g)
+	full := NewPrecomputed(g, db, all)
+	if st.Stats().PrecomputeExpansions >= full.Stats().PrecomputeExpansions {
+		t.Errorf("pruned precompute %d >= full %d",
+			st.Stats().PrecomputeExpansions, full.Stats().PrecomputeExpansions)
+	}
+}
+
+// core_AllPairs avoids an import cycle with core by building the request
+// population locally.
+func core_AllPairs(g *ad.Graph) []policy.Request {
+	var out []policy.Request
+	for _, a := range g.IDs() {
+		for _, b := range g.IDs() {
+			if a != b {
+				out = append(out, policy.Request{Src: a, Dst: b, Hour: 12})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/topology"
+)
+
+// ExampleGenerate builds a small internet in the paper's §2.1 shape and
+// reports its structure.
+func ExampleGenerate() {
+	topo := topology.Generate(topology.Config{
+		Seed:                 7,
+		Backbones:            2,
+		RegionalsPerBackbone: 2,
+		CampusesPerParent:    2,
+	})
+	s := topology.ComputeStats(topo.Graph)
+	fmt.Println("ADs:", s.ADs)
+	fmt.Println("connected:", s.Connected)
+	fmt.Println("backbones:", s.ByLevel[ad.Backbone])
+	fmt.Println("campuses:", s.ByLevel[ad.Campus])
+	// Output:
+	// ADs: 14
+	// connected: true
+	// backbones: 2
+	// campuses: 8
+}
+
+// ExampleFigure1 reconstructs the paper's example internet.
+func ExampleFigure1() {
+	topo := topology.Figure1()
+	s := topology.ComputeStats(topo.Graph)
+	fmt.Println("lateral links:", s.ByLinkClass[ad.Lateral])
+	fmt.Println("bypass links:", s.ByLinkClass[ad.Bypass])
+	fmt.Println("multi-homed stubs:", s.ByClass[ad.MultihomedStub])
+	// Output:
+	// lateral links: 2
+	// bypass links: 1
+	// multi-homed stubs: 1
+}

@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+)
+
+// Figure1 constructs the paper's Figure 1 "Example Internet Topology": a
+// two-backbone hierarchy with regional and campus networks, augmented with
+// one regional-regional lateral link, one campus-campus lateral link, one
+// campus-to-backbone bypass link, and one multi-homed stub campus.
+//
+// The published figure is a schematic; this is a faithful reconstruction of
+// every structural feature its legend names (hierarchical, lateral, and
+// bypass links across backbone/regional/campus levels). Experiment F1
+// validates its invariants.
+func Figure1() *Topology {
+	g := ad.NewGraph()
+	topo := &Topology{
+		Graph:   g,
+		Parent:  make(map[ad.ID]ad.ID),
+		ByLevel: make(map[ad.Level][]ad.ID),
+	}
+	add := func(name string, class ad.Class, level ad.Level) ad.ID {
+		id := g.AddAD(name, class, level)
+		topo.ByLevel[level] = append(topo.ByLevel[level], id)
+		return id
+	}
+	link := func(a, b ad.ID, class ad.LinkClass, level ad.Level) {
+		if err := g.AddLink(ad.Link{A: a, B: b, Class: class, DelayMicros: delay(class, level), BandwidthBps: bandwidth(class, level), Cost: 1}); err != nil {
+			panic(fmt.Sprintf("topology: figure1: %v", err))
+		}
+	}
+
+	// Two interconnected long-haul backbones.
+	b1 := add("backbone-east", ad.Transit, ad.Backbone)
+	b2 := add("backbone-west", ad.Transit, ad.Backbone)
+	link(b1, b2, ad.Hierarchical, ad.Backbone)
+
+	// Regionals: two on the east backbone, one on the west.
+	r1 := add("regional-1", ad.Transit, ad.Regional)
+	r2 := add("regional-2", ad.Transit, ad.Regional)
+	r3 := add("regional-3", ad.Transit, ad.Regional)
+	topo.Parent[r1] = b1
+	topo.Parent[r2] = b1
+	topo.Parent[r3] = b2
+	link(r1, b1, ad.Hierarchical, ad.Regional)
+	link(r2, b1, ad.Hierarchical, ad.Regional)
+	link(r3, b2, ad.Hierarchical, ad.Regional)
+	// Lateral link between regionals on different backbones.
+	link(r2, r3, ad.Lateral, ad.Regional)
+
+	// Campuses.
+	c1 := add("campus-1", ad.Stub, ad.Campus)
+	c2 := add("campus-2", ad.Stub, ad.Campus)
+	c3 := add("campus-3", ad.Stub, ad.Campus)
+	c4 := add("campus-4", ad.Stub, ad.Campus)
+	c5 := add("campus-5", ad.MultihomedStub, ad.Campus)
+	topo.Parent[c1] = r1
+	topo.Parent[c2] = r1
+	topo.Parent[c3] = r2
+	topo.Parent[c4] = r3
+	topo.Parent[c5] = r3
+	link(c1, r1, ad.Hierarchical, ad.Campus)
+	link(c2, r1, ad.Hierarchical, ad.Campus)
+	link(c3, r2, ad.Hierarchical, ad.Campus)
+	link(c4, r3, ad.Hierarchical, ad.Campus)
+	link(c5, r3, ad.Hierarchical, ad.Campus)
+	// Lateral link between campuses under different regionals.
+	link(c2, c3, ad.Lateral, ad.Campus)
+	// Bypass link: campus directly onto a backbone.
+	link(c4, b1, ad.Bypass, ad.Campus)
+	// The multi-homed stub's second home.
+	link(c5, r2, ad.Hierarchical, ad.Campus)
+
+	return topo
+}

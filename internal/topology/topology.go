@@ -1,0 +1,329 @@
+// Package topology builds AD-level internet topologies matching the model of
+// Breslau & Estrin (SIGCOMM 1990) §2.1: a hierarchy of backbone, regional,
+// metro, and campus networks, augmented with lateral links between peers and
+// bypass links that skip hierarchy levels.
+//
+// The package provides a deterministic seeded generator, the paper's exact
+// Figure 1 example topology, and DOT/JSON exporters.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ad"
+)
+
+// Config parameterizes the generator. Zero fields are normalized to a small
+// default internet. All randomness derives from Seed, so equal configs
+// produce identical topologies.
+type Config struct {
+	Seed int64
+
+	// Backbones is the number of long-haul backbone ADs (>= 1). All
+	// backbones are interconnected in a ring plus random chords.
+	Backbones int
+	// RegionalsPerBackbone is the number of regional ADs homed on each
+	// backbone.
+	RegionalsPerBackbone int
+	// MetrosPerRegional is the number of metro ADs per regional. Zero
+	// attaches campuses directly to regionals (a 3-level hierarchy).
+	MetrosPerRegional int
+	// CampusesPerParent is the number of campus (stub) ADs per lowest
+	// transit AD.
+	CampusesPerParent int
+
+	// LateralProb is the probability that a pair of same-level ADs with a
+	// common parent is joined by a lateral link. Lateral links between
+	// regionals on different backbones are also generated at this rate.
+	LateralProb float64
+	// BypassProb is the probability that a campus gets a bypass link
+	// directly to a random backbone.
+	BypassProb float64
+	// MultihomedProb is the probability that a campus is multi-homed to a
+	// second parent and classified MultihomedStub (it still disallows
+	// transit; see paper §2.1).
+	MultihomedProb float64
+	// HybridProb is the probability that a metro or regional is a Hybrid
+	// (limited transit) AD instead of a full Transit AD.
+	HybridProb float64
+
+	// BackboneChords adds this many random extra backbone-backbone links
+	// beyond the ring (ignored when Backbones < 4).
+	BackboneChords int
+}
+
+// Normalize fills zero fields with defaults: 2 backbones, 2 regionals each,
+// no metro level, 3 campuses per regional — a 16-AD internet resembling
+// Figure 1 in shape.
+func (c Config) Normalize() Config {
+	if c.Backbones < 1 {
+		c.Backbones = 2
+	}
+	if c.RegionalsPerBackbone < 1 {
+		c.RegionalsPerBackbone = 2
+	}
+	if c.MetrosPerRegional < 0 {
+		c.MetrosPerRegional = 0
+	}
+	if c.CampusesPerParent < 1 {
+		c.CampusesPerParent = 3
+	}
+	clamp := func(p *float64) {
+		if *p < 0 {
+			*p = 0
+		}
+		if *p > 1 {
+			*p = 1
+		}
+	}
+	clamp(&c.LateralProb)
+	clamp(&c.BypassProb)
+	clamp(&c.MultihomedProb)
+	clamp(&c.HybridProb)
+	return c
+}
+
+// Topology is a generated internet: the AD graph plus structural metadata
+// used by experiments (hierarchy parents and per-level membership).
+type Topology struct {
+	Graph *ad.Graph
+	// Parent maps each non-backbone AD to its primary hierarchical
+	// parent.
+	Parent map[ad.ID]ad.ID
+	// ByLevel lists ADs at each level, in creation order.
+	ByLevel map[ad.Level][]ad.ID
+}
+
+// delay returns a plausible one-way propagation delay (µs) for a link class:
+// long-haul links are slower than local attachments.
+func delay(class ad.LinkClass, level ad.Level) int64 {
+	switch {
+	case level == ad.Backbone:
+		return 20000 // 20ms long haul
+	case class == ad.Bypass:
+		return 15000
+	case level == ad.Regional:
+		return 8000
+	default:
+		return 2000
+	}
+}
+
+// bandwidth returns a period-plausible link rate (bps) for a link class:
+// T3 backbones, T1 regional attachments and bypass circuits, Ethernet-class
+// campus links — the circuit mix of the paper's late-1980s internet.
+func bandwidth(class ad.LinkClass, level ad.Level) int64 {
+	switch {
+	case level == ad.Backbone:
+		return 45_000_000 // T3
+	case class == ad.Bypass:
+		return 1_544_000 // T1
+	case level == ad.Regional:
+		return 1_544_000 // T1
+	default:
+		return 10_000_000 // campus Ethernet attach
+	}
+}
+
+// Generate builds a topology from config c. The result is always connected.
+func Generate(c Config) *Topology {
+	c = c.Normalize()
+	rng := rand.New(rand.NewSource(c.Seed))
+	g := ad.NewGraph()
+	topo := &Topology{
+		Graph:   g,
+		Parent:  make(map[ad.ID]ad.ID),
+		ByLevel: make(map[ad.Level][]ad.ID),
+	}
+
+	addLink := func(a, b ad.ID, class ad.LinkClass, level ad.Level) {
+		if a == b || g.HasLink(a, b) {
+			return
+		}
+		cost := uint32(1)
+		if class == ad.Lateral {
+			cost = 2
+		}
+		if class == ad.Bypass {
+			cost = 3
+		}
+		// Endpoints are validated at creation; errors are impossible here.
+		if err := g.AddLink(ad.Link{A: a, B: b, Class: class, DelayMicros: delay(class, level), BandwidthBps: bandwidth(class, level), Cost: cost}); err != nil {
+			panic(fmt.Sprintf("topology: internal link error: %v", err))
+		}
+	}
+
+	// Backbones: ring + chords.
+	var backbones []ad.ID
+	for i := 0; i < c.Backbones; i++ {
+		id := g.AddAD(fmt.Sprintf("bb%d", i), ad.Transit, ad.Backbone)
+		backbones = append(backbones, id)
+		topo.ByLevel[ad.Backbone] = append(topo.ByLevel[ad.Backbone], id)
+	}
+	for i := 1; i < len(backbones); i++ {
+		addLink(backbones[i-1], backbones[i], ad.Hierarchical, ad.Backbone)
+	}
+	if len(backbones) > 2 {
+		addLink(backbones[len(backbones)-1], backbones[0], ad.Hierarchical, ad.Backbone)
+	}
+	if len(backbones) >= 4 {
+		for i := 0; i < c.BackboneChords; i++ {
+			a := backbones[rng.Intn(len(backbones))]
+			b := backbones[rng.Intn(len(backbones))]
+			addLink(a, b, ad.Hierarchical, ad.Backbone)
+		}
+	}
+
+	transitClass := func() ad.Class {
+		if rng.Float64() < c.HybridProb {
+			return ad.Hybrid
+		}
+		return ad.Transit
+	}
+
+	// Regionals.
+	var regionals []ad.ID
+	for bi, bb := range backbones {
+		for r := 0; r < c.RegionalsPerBackbone; r++ {
+			id := g.AddAD(fmt.Sprintf("reg%d.%d", bi, r), transitClass(), ad.Regional)
+			regionals = append(regionals, id)
+			topo.ByLevel[ad.Regional] = append(topo.ByLevel[ad.Regional], id)
+			topo.Parent[id] = bb
+			addLink(id, bb, ad.Hierarchical, ad.Regional)
+		}
+	}
+	// Lateral links among sibling regionals and across backbones.
+	for i := 0; i < len(regionals); i++ {
+		for j := i + 1; j < len(regionals); j++ {
+			if rng.Float64() < c.LateralProb {
+				addLink(regionals[i], regionals[j], ad.Lateral, ad.Regional)
+			}
+		}
+	}
+
+	// Metros (optional level).
+	lowestTransit := regionals
+	if c.MetrosPerRegional > 0 {
+		var metros []ad.ID
+		for ri, reg := range regionals {
+			var sibs []ad.ID
+			for m := 0; m < c.MetrosPerRegional; m++ {
+				id := g.AddAD(fmt.Sprintf("met%d.%d", ri, m), transitClass(), ad.Metro)
+				metros = append(metros, id)
+				sibs = append(sibs, id)
+				topo.ByLevel[ad.Metro] = append(topo.ByLevel[ad.Metro], id)
+				topo.Parent[id] = reg
+				addLink(id, reg, ad.Hierarchical, ad.Metro)
+			}
+			for i := 0; i < len(sibs); i++ {
+				for j := i + 1; j < len(sibs); j++ {
+					if rng.Float64() < c.LateralProb {
+						addLink(sibs[i], sibs[j], ad.Lateral, ad.Metro)
+					}
+				}
+			}
+		}
+		lowestTransit = metros
+	}
+
+	// Campuses (stubs).
+	for pi, parent := range lowestTransit {
+		var sibs []ad.ID
+		for s := 0; s < c.CampusesPerParent; s++ {
+			class := ad.Stub
+			multihomed := rng.Float64() < c.MultihomedProb && len(lowestTransit) > 1
+			if multihomed {
+				class = ad.MultihomedStub
+			}
+			id := g.AddAD(fmt.Sprintf("cam%d.%d", pi, s), class, ad.Campus)
+			sibs = append(sibs, id)
+			topo.ByLevel[ad.Campus] = append(topo.ByLevel[ad.Campus], id)
+			topo.Parent[id] = parent
+			addLink(id, parent, ad.Hierarchical, ad.Campus)
+			if multihomed {
+				// Second home on a different lowest-transit AD.
+				for tries := 0; tries < 8; tries++ {
+					second := lowestTransit[rng.Intn(len(lowestTransit))]
+					if second != parent && !g.HasLink(id, second) {
+						addLink(id, second, ad.Hierarchical, ad.Campus)
+						break
+					}
+				}
+			}
+			if rng.Float64() < c.BypassProb {
+				bb := backbones[rng.Intn(len(backbones))]
+				addLink(id, bb, ad.Bypass, ad.Campus)
+			}
+		}
+		// Lateral links between sibling campuses.
+		for i := 0; i < len(sibs); i++ {
+			for j := i + 1; j < len(sibs); j++ {
+				if rng.Float64() < c.LateralProb {
+					addLink(sibs[i], sibs[j], ad.Lateral, ad.Campus)
+				}
+			}
+		}
+	}
+	return topo
+}
+
+// Stats summarizes a topology for validation and reporting.
+type Stats struct {
+	ADs, Links               int
+	ByClass                  map[ad.Class]int
+	ByLevel                  map[ad.Level]int
+	ByLinkClass              map[ad.LinkClass]int
+	Connected, Tree          bool
+	MinDegree, MaxDegree     int
+	MultihomedWithTwoPlus    int
+	LateralAndBypassFraction float64
+	AvgDegree                float64
+}
+
+// ComputeStats analyses graph g.
+func ComputeStats(g *ad.Graph) Stats {
+	s := Stats{
+		ByClass:     make(map[ad.Class]int),
+		ByLevel:     make(map[ad.Level]int),
+		ByLinkClass: make(map[ad.LinkClass]int),
+		MinDegree:   1 << 30,
+	}
+	s.ADs = g.NumADs()
+	s.Links = g.NumLinks()
+	s.Connected = g.Connected()
+	s.Tree = g.IsTree()
+	degSum := 0
+	for _, info := range g.ADs() {
+		s.ByClass[info.Class]++
+		s.ByLevel[info.Level]++
+		d := g.Degree(info.ID)
+		degSum += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if info.Class == ad.MultihomedStub && d >= 2 {
+			s.MultihomedWithTwoPlus++
+		}
+	}
+	nonHier := 0
+	for _, l := range g.Links() {
+		s.ByLinkClass[l.Class]++
+		if l.Class != ad.Hierarchical {
+			nonHier++
+		}
+	}
+	if s.Links > 0 {
+		s.LateralAndBypassFraction = float64(nonHier) / float64(s.Links)
+	}
+	if s.ADs > 0 {
+		s.AvgDegree = float64(degSum) / float64(s.ADs)
+	}
+	if s.ADs == 0 {
+		s.MinDegree = 0
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+// Package trafficgen generates traffic request workloads for the
+// experiments: uniform all-pairs sweeps, Zipf-skewed hot sets (most
+// traffic between few pairs, as inter-AD traffic matrices are), and a
+// gravity model in which an AD's traffic share is proportional to its
+// degree (a proxy for its size, in the spirit of §2.1's locality argument).
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// Config parameterizes a workload.
+type Config struct {
+	// Seed fixes the generator.
+	Seed int64
+	// Requests is the workload length.
+	Requests int
+	// StubsOnly restricts sources and destinations to stub ADs.
+	StubsOnly bool
+	// Model selects the pair distribution: "uniform", "zipf", "gravity".
+	Model string
+	// ZipfS is the Zipf exponent (>1); larger = more skew. Default 1.2.
+	ZipfS float64
+	// QOSClasses / UCIClasses spread requests over service and user
+	// classes (uniformly); zero means class 0 only.
+	QOSClasses int
+	UCIClasses int
+	// HourSpread draws request hours uniformly from [0,24) instead of
+	// fixing noon.
+	HourSpread bool
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Requests <= 0 {
+		c.Requests = 100
+	}
+	if c.Model == "" {
+		c.Model = "uniform"
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// endpoints returns the candidate AD population.
+func endpoints(g *ad.Graph, stubsOnly bool) []ad.ID {
+	var ids []ad.ID
+	for _, info := range g.ADs() {
+		if !stubsOnly || info.Class == ad.Stub || info.Class == ad.MultihomedStub {
+			ids = append(ids, info.ID)
+		}
+	}
+	return ids
+}
+
+// pairs enumerates ordered endpoint pairs.
+func pairs(ids []ad.ID) [][2]ad.ID {
+	var out [][2]ad.ID
+	for _, s := range ids {
+		for _, d := range ids {
+			if s != d {
+				out = append(out, [2]ad.ID{s, d})
+			}
+		}
+	}
+	return out
+}
+
+// Generate produces a workload over graph g.
+func Generate(g *ad.Graph, c Config) []policy.Request {
+	c = c.Normalize()
+	rng := rand.New(rand.NewSource(c.Seed))
+	ids := endpoints(g, c.StubsOnly)
+	if len(ids) < 2 {
+		return nil
+	}
+	pp := pairs(ids)
+
+	var pick func() [2]ad.ID
+	switch c.Model {
+	case "zipf":
+		// Shuffle pair ranks, then draw by Zipf rank.
+		rng.Shuffle(len(pp), func(i, j int) { pp[i], pp[j] = pp[j], pp[i] })
+		z := rand.NewZipf(rng, c.ZipfS, 1, uint64(len(pp)-1))
+		pick = func() [2]ad.ID { return pp[z.Uint64()] }
+	case "gravity":
+		// Weight each AD by its degree; pair weight = w(s)·w(d).
+		w := make(map[ad.ID]float64, len(ids))
+		total := 0.0
+		for _, id := range ids {
+			w[id] = float64(g.Degree(id))
+			total += w[id]
+		}
+		cum := make([]float64, len(ids))
+		acc := 0.0
+		for i, id := range ids {
+			acc += w[id] / total
+			cum[i] = acc
+		}
+		draw := func() ad.ID {
+			x := rng.Float64()
+			i := sort.SearchFloat64s(cum, x)
+			if i >= len(ids) {
+				i = len(ids) - 1
+			}
+			return ids[i]
+		}
+		pick = func() [2]ad.ID {
+			for {
+				s, d := draw(), draw()
+				if s != d {
+					return [2]ad.ID{s, d}
+				}
+			}
+		}
+	default: // uniform
+		pick = func() [2]ad.ID { return pp[rng.Intn(len(pp))] }
+	}
+
+	out := make([]policy.Request, 0, c.Requests)
+	for i := 0; i < c.Requests; i++ {
+		p := pick()
+		req := policy.Request{Src: p[0], Dst: p[1], Hour: 12}
+		if c.QOSClasses > 1 {
+			req.QOS = policy.QOS(rng.Intn(c.QOSClasses))
+		}
+		if c.UCIClasses > 1 {
+			req.UCI = policy.UCI(rng.Intn(c.UCIClasses))
+		}
+		if c.HourSpread {
+			req.Hour = uint8(rng.Intn(24))
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// Skew summarizes a workload's concentration: the fraction of requests
+// carried by the busiest decile of pairs (0.1 = perfectly uniform).
+func Skew(reqs []policy.Request) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	counts := map[[2]ad.ID]int{}
+	for _, r := range reqs {
+		counts[[2]ad.ID{r.Src, r.Dst}]++
+	}
+	sorted := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sorted = append(sorted, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := int(math.Ceil(float64(len(sorted)) / 10))
+	sum := 0
+	for _, c := range sorted[:top] {
+		sum += c
+	}
+	return float64(sum) / float64(len(reqs))
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ad"
+)
+
+// TestUnmarshalRandomBytesNeverPanics feeds Unmarshal random garbage. The
+// decoder must either return a message or an error — never panic or hang —
+// for any input, since nodes parse whatever arrives on a link.
+func TestUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(512)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %d random bytes: %v", trial, n, r)
+				}
+			}()
+			_, _ = Unmarshal(buf)
+		}()
+	}
+}
+
+// TestUnmarshalMutatedValidMessages flips bytes in valid messages: decode
+// must never panic, and when it succeeds, re-marshalling must not panic
+// either (decoded values stay in-range for the encoder).
+func TestUnmarshalMutatedValidMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	bases := [][]byte{
+		Marshal(&DVUpdate{Routes: []DVRoute{{Dest: 1, Metric: 2, QOS: 1}}}),
+		Marshal(&LSA{Origin: 3, Seq: 9, Links: []LSALink{{Neighbor: 4, Cost: 1, Up: true}}}),
+		Marshal(&Setup{Handle: 7, Route: ad.Path{1, 2, 3}}),
+		Marshal(&Data{Mode: ModeSourceRoute, Payload: []byte("abcdef")}),
+		Marshal(&EGPUpdate{Routes: []EGPRoute{{Dest: 5, Metric: 2}}}),
+	}
+	for trial := 0; trial < 5000; trial++ {
+		base := bases[rng.Intn(len(bases))]
+		buf := append([]byte(nil), base...)
+		// Flip 1-4 random bytes (keep the version byte valid half the
+		// time so bodies actually get decoded).
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(buf))
+			if pos == 0 && rng.Intn(2) == 0 {
+				continue
+			}
+			buf[pos] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			m, err := Unmarshal(buf)
+			if err == nil && m != nil {
+				// Round-trip the decoded value; size limits can
+				// legitimately panic only if counts exploded, which
+				// decode bounds by the body length, so none expected.
+				_ = Marshal(m)
+			}
+		}()
+	}
+}

@@ -1,0 +1,245 @@
+// Package wire defines the binary on-the-wire encodings of every protocol
+// message exchanged in the simulations: distance-vector and path-vector
+// updates, policy link-state advertisements, ORWG route setup/teardown, data
+// packets, and the EGP baseline's reachability updates.
+//
+// Message overhead statistics in the experiments are computed from these
+// marshalled bytes, so header-size claims (e.g. source route vs handle,
+// paper §5.4.1) are measured rather than estimated.
+//
+// All integers are big-endian. Every message starts with a 4-byte header:
+//
+//	byte 0   version (currently 1)
+//	byte 1   message type
+//	bytes2-3 body length in bytes
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the wire protocol version emitted and accepted.
+const Version = 1
+
+// headerLen is the fixed message header size.
+const headerLen = 4
+
+// MsgType discriminates message bodies.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeInvalid MsgType = iota
+	// TypeDVUpdate is a distance-vector routing update (plain DV, ECMA).
+	TypeDVUpdate
+	// TypePathVector is an IDRP/BGP-2 path-vector update with policy
+	// attributes.
+	TypePathVector
+	// TypeLSA is a policy link-state advertisement.
+	TypeLSA
+	// TypeSetup is an ORWG policy-route setup packet.
+	TypeSetup
+	// TypeSetupReply acknowledges or refuses a setup.
+	TypeSetupReply
+	// TypeData is a data packet (source-routed or handle-forwarded).
+	TypeData
+	// TypeTeardown releases an established policy route.
+	TypeTeardown
+	// TypeEGP is an EGP neighbor-reachability update.
+	TypeEGP
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeDVUpdate:
+		return "dv-update"
+	case TypePathVector:
+		return "path-vector"
+	case TypeLSA:
+		return "lsa"
+	case TypeSetup:
+		return "setup"
+	case TypeSetupReply:
+		return "setup-reply"
+	case TypeData:
+		return "data"
+	case TypeTeardown:
+		return "teardown"
+	case TypeEGP:
+		return "egp"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrUnknownType = errors.New("wire: unknown message type")
+	ErrTrailing    = errors.New("wire: trailing bytes after message body")
+	ErrTooLarge    = errors.New("wire: message exceeds maximum size")
+)
+
+// maxBody bounds message bodies to what the 16-bit length field can carry.
+const maxBody = 1<<16 - 1
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Type returns the message's type code.
+	Type() MsgType
+	// appendBody appends the marshalled body to dst and returns it.
+	appendBody(dst []byte) []byte
+	// decodeBody parses the body. It must consume the whole buffer.
+	decodeBody(r *reader)
+}
+
+// Marshal encodes m with its header. It panics if the body exceeds the
+// 16-bit length field: that is a protocol design error, not a runtime
+// condition (callers size updates below the limit).
+func Marshal(m Message) []byte {
+	buf := make([]byte, headerLen, headerLen+64)
+	buf[0] = Version
+	buf[1] = byte(m.Type())
+	buf = m.appendBody(buf)
+	body := len(buf) - headerLen
+	if body > maxBody {
+		panic(fmt.Sprintf("wire: %v body %d bytes exceeds max %d", m.Type(), body, maxBody))
+	}
+	binary.BigEndian.PutUint16(buf[2:4], uint16(body))
+	return buf
+}
+
+// Unmarshal decodes one message from b, which must contain exactly one
+// message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < headerLen {
+		return nil, ErrTruncated
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	t := MsgType(b[1])
+	bodyLen := int(binary.BigEndian.Uint16(b[2:4]))
+	body := b[headerLen:]
+	if len(body) < bodyLen {
+		return nil, ErrTruncated
+	}
+	if len(body) > bodyLen {
+		return nil, ErrTrailing
+	}
+	var m Message
+	switch t {
+	case TypeDVUpdate:
+		m = &DVUpdate{}
+	case TypePathVector:
+		m = &PathVector{}
+	case TypeLSA:
+		m = &LSA{}
+	case TypeSetup:
+		m = &Setup{}
+	case TypeSetupReply:
+		m = &SetupReply{}
+	case TypeData:
+		m = &Data{}
+	case TypeTeardown:
+		m = &Teardown{}
+	case TypeEGP:
+		m = &EGPUpdate{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
+	}
+	r := &reader{buf: body}
+	m.decodeBody(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// reader is a cursor over a message body that records the first error and
+// turns subsequent reads into no-ops, so decoders can be written without
+// per-field error checks.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+// Append helpers shared by encoders.
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	dst = appendU32(dst, uint32(v>>32))
+	return appendU32(dst, uint32(v))
+}
