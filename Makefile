@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench results
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet, formatting, and race-enabled tests (the
+# parallel experiment runner must be race-clean).
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the committed golden output for the default seed.
+results:
+	$(GO) run ./cmd/experiments -seed 42 > results_seed42.txt

@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/ad"
@@ -157,6 +158,23 @@ func BenchmarkE19MultihomedStubs(b *testing.B) {
 	}
 }
 
+// Full-suite benchmarks: the serial baseline and the parallel runner over
+// the identical workload. Compare wall-clock ns/op to measure the fan-out
+// speedup (the two produce byte-identical tables).
+
+func BenchmarkAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.RunAll(benchSeed, 1))
+	}
+}
+
+func BenchmarkAllParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.RunAll(benchSeed, workers))
+	}
+}
+
 // Substrate microbenchmarks.
 
 func benchTopo() (*topology.Topology, *policy.DB) {
@@ -285,6 +303,53 @@ func largeTopo() (*topology.Topology, *policy.DB) {
 		Seed: benchSeed + 1, SourceRestrictionProb: 0.3, SourceFraction: 0.5,
 	})
 	return topo, db
+}
+
+// Hot-path microbenchmarks: neighbor iteration and flooding dominate every
+// protocol's convergence phase. All three should report ~0 allocs/op now
+// that the graph caches its sorted adjacency and the network recycles
+// payload buffers.
+
+func BenchmarkGraphNeighbors(b *testing.B) {
+	topo, _ := largeTopo()
+	g := topo.Graph
+	ids := g.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += len(g.Neighbors(ids[i%len(ids)]))
+	}
+}
+
+func BenchmarkNetworkUpNeighbors(b *testing.B) {
+	topo, _ := largeTopo()
+	nw := sim.NewNetwork(topo.Graph, benchSeed)
+	ids := topo.Graph.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += len(nw.UpNeighbors(ids[i%len(ids)]))
+	}
+}
+
+func BenchmarkNetworkFlood(b *testing.B) {
+	topo, _ := largeTopo()
+	nw := sim.NewNetwork(topo.Graph, benchSeed)
+	// Flood from the highest-degree AD; no nodes are registered, so the
+	// benchmark isolates the Send/delivery machinery itself.
+	hub := topo.Graph.IDs()[0]
+	for _, id := range topo.Graph.IDs() {
+		if topo.Graph.Degree(id) > topo.Graph.Degree(hub) {
+			hub = id
+		}
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += nw.Flood("lsa", hub, payload)
+		nw.Engine.Run() // drain deliveries so buffers recycle
+	}
 }
 
 func BenchmarkLargeFloodingConvergence(b *testing.B) {

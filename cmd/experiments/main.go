@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-only table1|figure1|e1|...|e12]
+//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e12]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -21,6 +22,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "experiment seed (all results are deterministic in it)")
 	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e19")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent experiment workers (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	runners := map[string]func(int64) *metrics.Table{
@@ -60,7 +63,7 @@ func main() {
 		return
 	}
 
-	for _, tbl := range experiments.All(*seed) {
+	for _, tbl := range experiments.RunAll(*seed, *parallel) {
 		if err := tbl.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -7,6 +7,7 @@
 //	prsim -proto orwg -seed 7 -restriction 0.6
 //	prsim -proto ecma -fail      # inject a link failure after convergence
 //	prsim -proto idrp -src 5 -dst 12   # trace one route
+//	prsim -proto all -parallel 4 # compare all protocols, 4 runs at a time
 //	prsim -scenario my.json      # run a declarative scenario file
 package main
 
@@ -14,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/ad"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/protocols/ecma"
 	"repro/internal/protocols/egp"
@@ -31,9 +34,42 @@ import (
 	"repro/internal/trafficgen"
 )
 
+// protoOrder fixes the report order of the -proto all comparison.
+var protoOrder = []string{
+	"plain-dv", "egp", "filters", "ecma", "bgp", "idrp", "idrp-multi", "lshh", "orwg",
+}
+
+// newSystem builds the named protocol over the shared topology and policy
+// set. The graph and DB are read-only to a running system, so systems built
+// from the same pair may run concurrently.
+func newSystem(proto string, g *ad.Graph, db *policy.DB, seed int64) (core.System, bool) {
+	switch proto {
+	case "plain-dv":
+		return plaindv.New(g, plaindv.Config{SplitHorizon: true, Seed: seed}), true
+	case "egp":
+		return egp.New(g, egp.Config{Seed: seed}), true
+	case "filters":
+		return filters.New(g, db, filters.Config{Seed: seed}), true
+	case "ecma":
+		return ecma.New(g, db, ecma.Config{Seed: seed}), true
+	case "bgp":
+		return idrp.New(g, db, idrp.Config{Seed: seed, BGPMode: true}), true
+	case "idrp":
+		return idrp.New(g, db, idrp.Config{Seed: seed}), true
+	case "idrp-multi":
+		return idrp.New(g, db, idrp.Config{Seed: seed, MultiRoute: 4}), true
+	case "lshh":
+		return lshh.New(g, db, lshh.Config{Seed: seed}), true
+	case "orwg":
+		return orwg.New(g, db, orwg.Config{Seed: seed}), true
+	default:
+		return nil, false
+	}
+}
+
 func main() {
 	var (
-		proto        = flag.String("proto", "orwg", "protocol: plain-dv | egp | filters | ecma | bgp | idrp | idrp-multi | lshh | orwg")
+		proto        = flag.String("proto", "orwg", "protocol: plain-dv | egp | filters | ecma | bgp | idrp | idrp-multi | lshh | orwg | all")
 		seed         = flag.Int64("seed", 42, "seed for topology, policy, and simulation")
 		backbones    = flag.Int("backbones", 2, "backbone ADs")
 		regionals    = flag.Int("regionals", 3, "regionals per backbone")
@@ -48,6 +84,8 @@ func main() {
 		trace        = flag.Bool("trace", false, "print every delivered protocol message")
 		workload     = flag.String("workload", "all-pairs", "traffic workload: all-pairs | uniform | zipf | gravity")
 		requests     = flag.Int("requests", 400, "workload length for sampled models")
+		parallelism  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent protocol runs for -proto all (results are deterministic regardless)")
 	)
 	flag.Parse()
 
@@ -86,27 +124,41 @@ func main() {
 		SourceFraction:        0.5,
 	})
 
-	var sys core.System
-	switch *proto {
-	case "plain-dv":
-		sys = plaindv.New(g, plaindv.Config{SplitHorizon: true, Seed: *seed})
-	case "egp":
-		sys = egp.New(g, egp.Config{Seed: *seed})
-	case "filters":
-		sys = filters.New(g, db, filters.Config{Seed: *seed})
-	case "ecma":
-		sys = ecma.New(g, db, ecma.Config{Seed: *seed})
-	case "bgp":
-		sys = idrp.New(g, db, idrp.Config{Seed: *seed, BGPMode: true})
-	case "idrp":
-		sys = idrp.New(g, db, idrp.Config{Seed: *seed})
-	case "idrp-multi":
-		sys = idrp.New(g, db, idrp.Config{Seed: *seed, MultiRoute: 4})
-	case "lshh":
-		sys = lshh.New(g, db, lshh.Config{Seed: *seed})
-	case "orwg":
-		sys = orwg.New(g, db, orwg.Config{Seed: *seed})
-	default:
+	oracle := core.Oracle{G: g, DB: db}
+	var reqs []policy.Request
+	if *workload == "all-pairs" {
+		reqs = core.AllPairsRequests(g, true, 0, 0)
+	} else {
+		reqs = trafficgen.Generate(g, trafficgen.Config{
+			Seed: *seed + 2, Requests: *requests, StubsOnly: true, Model: *workload,
+		})
+	}
+
+	if *proto == "all" {
+		if *failLink || *trace || *src != 0 || *dst != 0 {
+			fmt.Fprintln(os.Stderr, "-fail, -trace, -src and -dst apply to a single protocol; pick one with -proto")
+			os.Exit(2)
+		}
+		fmt.Printf("topology: %d ADs, %d links (seed %d)\n", g.NumADs(), g.NumLinks(), *seed)
+		fmt.Printf("policy: %d terms, restriction %.2f\n\n", db.NumTerms(), *restriction)
+		ms := make([]core.Metrics, len(protoOrder))
+		tasks := make([]func(), len(protoOrder))
+		for i, name := range protoOrder {
+			i, name := i, name
+			sys, _ := newSystem(name, g, db, *seed)
+			tasks[i] = func() {
+				ms[i] = core.RunScenario(sys, oracle, reqs, 600*sim.Second)
+			}
+		}
+		parallel.Do(*parallelism, tasks)
+		for _, m := range ms {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	sys, ok := newSystem(*proto, g, db, *seed)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
@@ -120,15 +172,6 @@ func main() {
 	fmt.Printf("topology: %d ADs, %d links (seed %d)\n", g.NumADs(), g.NumLinks(), *seed)
 	fmt.Printf("policy: %d terms, restriction %.2f\n\n", db.NumTerms(), *restriction)
 
-	oracle := core.Oracle{G: g, DB: db}
-	var reqs []policy.Request
-	if *workload == "all-pairs" {
-		reqs = core.AllPairsRequests(g, true, 0, 0)
-	} else {
-		reqs = trafficgen.Generate(g, trafficgen.Config{
-			Seed: *seed + 2, Requests: *requests, StubsOnly: true, Model: *workload,
-		})
-	}
 	m := core.RunScenario(sys, oracle, reqs, 600*sim.Second)
 	fmt.Println(m)
 

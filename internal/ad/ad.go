@@ -173,15 +173,20 @@ type Graph struct {
 	adj    map[ID][]Link // links incident to each AD
 	links  map[[2]ID]Link
 	nextID ID
+	// sortedAdj caches each AD's neighbor IDs in ascending order. It is
+	// maintained incrementally by AddLink/RemoveLink (never lazily), so
+	// concurrent readers of a finished graph need no synchronization.
+	sortedAdj map[ID][]ID
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		ads:    make(map[ID]Info),
-		adj:    make(map[ID][]Link),
-		links:  make(map[[2]ID]Link),
-		nextID: 1,
+		ads:       make(map[ID]Info),
+		adj:       make(map[ID][]Link),
+		links:     make(map[[2]ID]Link),
+		nextID:    1,
+		sortedAdj: make(map[ID][]ID),
 	}
 }
 
@@ -232,7 +237,31 @@ func (g *Graph) AddLink(l Link) error {
 	g.links[key] = l
 	g.adj[l.A] = append(g.adj[l.A], l)
 	g.adj[l.B] = append(g.adj[l.B], l)
+	g.insertNeighbor(l.A, l.B)
+	g.insertNeighbor(l.B, l.A)
 	return nil
+}
+
+// insertNeighbor keeps the sorted-adjacency cache ordered as links are added.
+func (g *Graph) insertNeighbor(id, nb ID) {
+	if g.sortedAdj == nil {
+		g.sortedAdj = make(map[ID][]ID)
+	}
+	s := g.sortedAdj[id]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= nb })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = nb
+	g.sortedAdj[id] = s
+}
+
+// removeNeighbor drops nb from id's sorted-adjacency cache.
+func (g *Graph) removeNeighbor(id, nb ID) {
+	s := g.sortedAdj[id]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= nb })
+	if i < len(s) && s[i] == nb {
+		g.sortedAdj[id] = append(s[:i], s[i+1:]...)
+	}
 }
 
 // RemoveLink deletes the link between a and b if present, reporting whether
@@ -255,6 +284,8 @@ func (g *Graph) RemoveLink(a, b ID) bool {
 	}
 	filter(l.A)
 	filter(l.B)
+	g.removeNeighbor(l.A, l.B)
+	g.removeNeighbor(l.B, l.A)
 	return true
 }
 
@@ -279,16 +310,15 @@ func (g *Graph) LinkBetween(a, b ID) (Link, bool) {
 }
 
 // Neighbors returns the IDs adjacent to id in ascending order. The returned
-// slice is freshly allocated.
+// slice is the graph's cached adjacency index: callers must not modify it.
+// Use NeighborsCopy for a private slice.
 func (g *Graph) Neighbors(id ID) []ID {
-	adj := g.adj[id]
-	out := make([]ID, 0, len(adj))
-	for _, l := range adj {
-		other, _ := l.Other(id)
-		out = append(out, other)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.sortedAdj[id]
+}
+
+// NeighborsCopy returns a freshly allocated copy of Neighbors(id).
+func (g *Graph) NeighborsCopy(id ID) []ID {
+	return append([]ID(nil), g.sortedAdj[id]...)
 }
 
 // IncidentLinks returns the links incident to id, sorted by far endpoint.
@@ -360,6 +390,9 @@ func (g *Graph) Clone() *Graph {
 		c.links[key] = l
 		c.adj[l.A] = append(c.adj[l.A], l)
 		c.adj[l.B] = append(c.adj[l.B], l)
+	}
+	for id, s := range g.sortedAdj {
+		c.sortedAdj[id] = append([]ID(nil), s...)
 	}
 	return c
 }

@@ -103,6 +103,73 @@ func TestNeighborsSorted(t *testing.T) {
 	}
 }
 
+func TestNeighborsCacheTracksMutations(t *testing.T) {
+	// The sorted-adjacency cache must stay correct across AddLink and
+	// RemoveLink, including out-of-order insertions.
+	g := NewGraph()
+	a := g.AddAD("a", Transit, Backbone)
+	var others []ID
+	for i := 0; i < 5; i++ {
+		others = append(others, g.AddAD("x", Stub, Campus))
+	}
+	// Link in a scrambled order; Neighbors must still come out ascending.
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		if err := g.AddLink(Link{A: a, B: others[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := g.Neighbors(a)
+	if len(n) != 5 {
+		t.Fatalf("Neighbors = %v", n)
+	}
+	for i := 1; i < len(n); i++ {
+		if n[i-1] >= n[i] {
+			t.Fatalf("Neighbors not ascending: %v", n)
+		}
+	}
+	if !g.RemoveLink(a, others[2]) {
+		t.Fatal("RemoveLink failed")
+	}
+	n = g.Neighbors(a)
+	if len(n) != 4 {
+		t.Fatalf("Neighbors after removal = %v", n)
+	}
+	for _, id := range n {
+		if id == others[2] {
+			t.Errorf("removed neighbor still cached: %v", n)
+		}
+	}
+	if got := g.Neighbors(others[2]); len(got) != 0 {
+		t.Errorf("far endpoint still caches removed link: %v", got)
+	}
+}
+
+func TestNeighborsCopyIsPrivate(t *testing.T) {
+	g, a, b, c := buildTriangle(t)
+	cp := g.NeighborsCopy(a)
+	if len(cp) != 2 {
+		t.Fatalf("NeighborsCopy = %v", cp)
+	}
+	cp[0] = 999
+	if n := g.Neighbors(a); n[0] != b || n[1] != c {
+		t.Errorf("mutating NeighborsCopy corrupted the cache: %v", n)
+	}
+}
+
+func TestCloneCopiesNeighborCache(t *testing.T) {
+	g, a, b, _ := buildTriangle(t)
+	clone := g.Clone()
+	if !clone.RemoveLink(a, b) {
+		t.Fatal("RemoveLink on clone failed")
+	}
+	if n := g.Neighbors(a); len(n) != 2 {
+		t.Errorf("clone mutation leaked into original: %v", n)
+	}
+	if n := clone.Neighbors(a); len(n) != 1 {
+		t.Errorf("clone Neighbors = %v, want 1 entry", n)
+	}
+}
+
 func TestRemoveLink(t *testing.T) {
 	g, a, b, _ := buildTriangle(t)
 	if !g.RemoveLink(b, a) { // reversed order must still match

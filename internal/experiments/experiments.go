@@ -10,6 +10,7 @@ package experiments
 import (
 	"repro/internal/ad"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -52,29 +53,57 @@ func restrictedPolicy(g *ad.Graph, seed int64) *policy.DB {
 	})
 }
 
-// All runs every experiment with the given seed.
+// independent lists every experiment other than Table 1, in report order.
+// Each entry is deterministic in the seed and shares no state with the
+// others, which is what makes the fan-out in RunAll sound.
+var independent = []func(int64) *metrics.Table{
+	func(int64) *metrics.Table { return Figure1Topology() },
+	E1RouteAvailability,
+	E2Convergence,
+	E3SpanningTreeReplication,
+	E4QOSScaling,
+	E5SetupVsHandle,
+	E6EGPTopologyRestriction,
+	E7SynthesisStrategies,
+	E8PolicyGranularity,
+	E9MessageScaling,
+	E10OrderingSatisfiability,
+	E11FilterDiscovery,
+	E12IDRPMultiRoute,
+	E13TimeOfDay,
+	E14PolicyChange,
+	E15LogicalClusterCost,
+	E16DatabaseDistribution,
+	E17SetupAmortization,
+	E18PathStretch,
+	E19MultihomedStubs,
+}
+
+// All runs every experiment serially with the given seed. It is equivalent
+// to RunAll(seed, 1).
 func All(seed int64) []*metrics.Table {
-	return []*metrics.Table{
-		Table1DesignSpace(seed),
-		Figure1Topology(),
-		E1RouteAvailability(seed),
-		E2Convergence(seed),
-		E3SpanningTreeReplication(seed),
-		E4QOSScaling(seed),
-		E5SetupVsHandle(seed),
-		E6EGPTopologyRestriction(seed),
-		E7SynthesisStrategies(seed),
-		E8PolicyGranularity(seed),
-		E9MessageScaling(seed),
-		E10OrderingSatisfiability(seed),
-		E11FilterDiscovery(seed),
-		E12IDRPMultiRoute(seed),
-		E13TimeOfDay(seed),
-		E14PolicyChange(seed),
-		E15LogicalClusterCost(seed),
-		E16DatabaseDistribution(seed),
-		E17SetupAmortization(seed),
-		E18PathStretch(seed),
-		E19MultihomedStubs(seed),
+	return RunAll(seed, 1)
+}
+
+// RunAll runs every experiment with the given seed, fanning the independent
+// experiments — and, within Table 1, the nine independent protocol runs —
+// across a bounded pool of at most parallelism workers (<= 0 means one per
+// CPU). Tables are collected in the same fixed order as All, and because
+// every experiment owns its topology, RNGs, and engine, the rendered output
+// is byte-identical for any parallelism.
+func RunAll(seed int64, parallelism int) []*metrics.Table {
+	t1 := newTable1Run(seed)
+	out := make([]*metrics.Table, 1+len(independent))
+	tasks := make([]func(), 0, len(t1.points)+len(independent))
+	for i := range t1.points {
+		i := i
+		tasks = append(tasks, func() { t1.runPoint(i) })
 	}
+	for j, fn := range independent {
+		j, fn := j, fn
+		tasks = append(tasks, func() { out[1+j] = fn(seed) })
+	}
+	parallel.Do(parallelism, tasks)
+	out[0] = t1.table()
+	return out
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func parseFloat(t *testing.T, s string) float64 {
@@ -343,6 +345,27 @@ func TestAllRuns(t *testing.T) {
 		if tbl.String() == "" {
 			t.Errorf("table %q renders empty", tbl.Title)
 		}
+	}
+}
+
+func TestRunAllParallelDeterminism(t *testing.T) {
+	// The parallel runner must render byte-identical tables regardless of
+	// parallelism: every experiment (and every Table 1 protocol run) owns
+	// its engine and RNGs, and results land in fixed slots.
+	if testing.Short() {
+		t.Skip("long")
+	}
+	render := func(tables []*metrics.Table) string {
+		var b strings.Builder
+		for _, tbl := range tables {
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	serial := render(RunAll(seed, 1))
+	parallel := render(RunAll(seed, 8))
+	if serial != parallel {
+		t.Error("RunAll(seed, 8) output differs from RunAll(seed, 1)")
 	}
 }
 

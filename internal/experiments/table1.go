@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"repro/internal/ad"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/protocols/ecma"
 	"repro/internal/protocols/egp"
 	"repro/internal/protocols/filters"
@@ -20,16 +22,23 @@ type designPoint struct {
 	policyIn  string // "topology" | "policy terms" | "none"
 }
 
-// Table1DesignSpace instantiates every point of the paper's Table 1 design
-// space (plus the §3 baselines) on a common topology and policy set, and
-// reports the comparison the paper makes qualitatively: route availability,
-// policy violations, loop behaviour, overhead, convergence, and state.
-func Table1DesignSpace(seed int64) *metrics.Table {
+// table1Run is a Table 1 reproduction decomposed into independently runnable
+// protocol points, so RunAll can fan the nine runs across workers. The
+// topology, policy database, oracle, and request workload are shared
+// read-only; each point's System owns all state it mutates.
+type table1Run struct {
+	seed    int64
+	g       *ad.Graph
+	oracle  core.Oracle
+	reqs    []policy.Request
+	points  []designPoint
+	results []core.Metrics
+}
+
+func newTable1Run(seed int64) *table1Run {
 	topo := defaultTopology(seed)
 	g := topo.Graph
 	db := restrictedPolicy(g, seed+1)
-	oracle := core.Oracle{G: g, DB: db}
-	reqs := core.AllPairsRequests(g, true, 0, 0)
 
 	points := []designPoint{
 		{plaindv.New(g, plaindv.Config{SplitHorizon: true, Seed: seed}), "DV", "hop-by-hop", "none"},
@@ -42,21 +51,38 @@ func Table1DesignSpace(seed int64) *metrics.Table {
 		{lshh.New(g, db, lshh.Config{Seed: seed}), "LS", "hop-by-hop", "policy terms"},
 		{orwg.New(g, db, orwg.Config{Seed: seed}), "LS", "source", "policy terms"},
 	}
+	return &table1Run{
+		seed:    seed,
+		g:       g,
+		oracle:  core.Oracle{G: g, DB: db},
+		reqs:    core.AllPairsRequests(g, true, 0, 0),
+		points:  points,
+		results: make([]core.Metrics, len(points)),
+	}
+}
 
+// runPoint evaluates design point i, writing only its own results slot.
+func (r *table1Run) runPoint(i int) {
+	r.results[i] = core.RunScenario(r.points[i].sys, r.oracle, r.reqs, convergenceLimit)
+}
+
+// table assembles the result table in fixed point order; every runPoint must
+// have completed first.
+func (r *table1Run) table() *metrics.Table {
 	t := metrics.NewTable("Table 1 — inter-AD routing design space on a common internet",
 		"protocol", "algorithm", "decision", "policy", "availability", "illegal", "loops",
 		"messages", "bytes", "conv", "state", "computations")
-	for _, p := range points {
-		m := core.RunScenario(p.sys, oracle, reqs, convergenceLimit)
+	for i, p := range r.points {
+		m := r.results[i]
 		t.AddRow(m.Protocol, p.algorithm, p.decision, p.policyIn,
 			m.Availability(), m.DeliveredIllegal, m.Looped,
 			m.Messages, m.Bytes, m.ConvergenceTime.String(), m.StateEntries, m.Computations)
 	}
 	t.AddNote("topology: %d ADs, %d links (seed %d); %d stub-pair requests, %d oracle-routable",
-		g.NumADs(), g.NumLinks(), seed, len(reqs), func() int {
+		r.g.NumADs(), r.g.NumLinks(), r.seed, len(r.reqs), func() int {
 			n := 0
-			for _, r := range reqs {
-				if oracle.HasRoute(r) {
+			for _, req := range r.reqs {
+				if r.oracle.HasRoute(req) {
 					n++
 				}
 			}
@@ -64,4 +90,16 @@ func Table1DesignSpace(seed int64) *metrics.Table {
 		}())
 	t.AddNote("availability = legally delivered / oracle-routable; illegal deliveries violate some AD's policy")
 	return t
+}
+
+// Table1DesignSpace instantiates every point of the paper's Table 1 design
+// space (plus the §3 baselines) on a common topology and policy set, and
+// reports the comparison the paper makes qualitatively: route availability,
+// policy violations, loop behaviour, overhead, convergence, and state.
+func Table1DesignSpace(seed int64) *metrics.Table {
+	r := newTable1Run(seed)
+	for i := range r.points {
+		r.runPoint(i)
+	}
+	return r.table()
 }

@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Normalize(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Normalize(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Normalize(-3) = %d", got)
+	}
+	if got := Normalize(7); got != 7 {
+		t.Errorf("Normalize(7) = %d", got)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 50
+		counts := make([]int32, n)
+		tasks := make([]func(), n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { atomic.AddInt32(&counts[i], 1) }
+		}
+		Do(workers, tasks)
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSerialPreservesOrder(t *testing.T) {
+	var order []int
+	var tasks []func()
+	for i := 0; i < 10; i++ {
+		i := i
+		tasks = append(tasks, func() { order = append(order, i) })
+	}
+	Do(1, tasks)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(4, nil) // must not hang or panic
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -33,25 +32,54 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by (time, sequence). It
+// stores events by value and sifts manually, so scheduling allocates nothing
+// beyond occasional slice growth (no per-event box, no interface conversion).
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the callback for GC
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		smallest := i
+		if l := 2*i + 1; l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is not
@@ -66,9 +94,13 @@ type Engine struct {
 	Processed uint64
 }
 
+// initialEventCap presizes the event queue so steady-state protocol bursts
+// (floods, all-pairs setups) do not pay repeated heap growth.
+const initialEventCap = 1024
+
 // NewEngine returns an engine with an empty queue at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: make(eventHeap, 0, initialEventCap)}
 }
 
 // Now returns the current simulated time.
@@ -81,7 +113,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -108,12 +140,11 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > limit {
+		if e.queue[0].at > limit {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		next := e.queue.pop()
 		e.now = next.at
 		e.Processed++
 		next.fn()
@@ -122,12 +153,15 @@ func (e *Engine) RunUntil(limit Time) Time {
 }
 
 // Step executes exactly one event if any is pending, reporting whether one
-// was executed.
+// was executed. Like RunUntil, it clears any Stop left over from a previous
+// loop on entry, so a Stop issued inside an event callback never leaks into
+// a later Step or Run.
 func (e *Engine) Step() bool {
+	e.stopped = false
 	if len(e.queue) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*event)
+	next := e.queue.pop()
 	e.now = next.at
 	e.Processed++
 	next.fn()

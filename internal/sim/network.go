@@ -77,13 +77,21 @@ type Network struct {
 	// busyUntil tracks each directed link's transmitter: a message may
 	// not start serializing before the previous one finished, which
 	// keeps links FIFO even with size-dependent transmission delays.
+	// FailLink clears both directed entries so a restored link starts
+	// with an idle transmitter instead of inheriting pre-failure backlog.
 	busyUntil map[[2]ad.ID]Time
 	rng       *rand.Rand
+
+	// freeBufs recycles payload copies. The Node contract forbids
+	// retaining the payload beyond Receive, so a delivered (or dropped)
+	// buffer can be reused by a later Send.
+	freeBufs [][]byte
 
 	// DefaultDelay is used for links whose DelayMicros is zero.
 	DefaultDelay Time
 
-	// lastSend records the time of the most recent Send, used by
+	// lastSend records the latest transmission-completion time over all
+	// Sends (start of serialization plus transmission delay), used by
 	// convergence detection.
 	lastSend Time
 
@@ -144,9 +152,33 @@ func (nw *Network) Now() Time { return nw.Engine.Now() }
 // After schedules fn after d; it is the timer facility for nodes.
 func (nw *Network) After(d Time, fn func()) { nw.Engine.After(d, fn) }
 
-// LastSend returns the time of the most recent message transmission, which
-// convergence detection uses as a quiescence marker.
+// LastSend returns the completion time of the latest message transmission
+// (when its last bit left the transmitter), which convergence detection uses
+// as a quiescence marker. On links without bandwidth modelling this is simply
+// the time of the most recent Send.
 func (nw *Network) LastSend() Time { return nw.lastSend }
+
+// getBuf returns a payload buffer of length n, reusing a recycled copy when
+// one is large enough.
+func (nw *Network) getBuf(n int) []byte {
+	if k := len(nw.freeBufs); k > 0 {
+		if b := nw.freeBufs[k-1]; cap(b) >= n {
+			nw.freeBufs[k-1] = nil
+			nw.freeBufs = nw.freeBufs[:k-1]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a payload buffer once its delivery (or drop) is complete.
+// Safe because Nodes must not retain the payload beyond Receive.
+func (nw *Network) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	nw.freeBufs = append(nw.freeBufs, b[:0])
+}
 
 func linkKey(a, b ad.ID) [2]ad.ID {
 	if a > b {
@@ -165,16 +197,29 @@ func (nw *Network) LinkIsUp(a, b ad.ID) bool {
 }
 
 // UpNeighbors returns the neighbors of id reachable over currently-up links,
-// in ascending order.
+// in ascending order. The returned slice may alias the graph's cached
+// adjacency index: callers must not modify it. While no link in the network
+// is down (the common case during convergence), it allocates nothing.
 func (nw *Network) UpNeighbors(id ad.ID) []ad.ID {
 	all := nw.Graph.Neighbors(id)
-	out := all[:0]
-	for _, n := range all {
-		if nw.LinkIsUp(id, n) {
-			out = append(out, n)
+	if len(nw.down) == 0 {
+		return all
+	}
+	for i, n := range all {
+		if nw.down[linkKey(id, n)] {
+			// Copy-on-filter: only pay for an allocation when some
+			// incident link is actually down.
+			out := make([]ad.ID, i, len(all)-1)
+			copy(out, all[:i])
+			for _, m := range all[i+1:] {
+				if !nw.down[linkKey(id, m)] {
+					out = append(out, m)
+				}
+			}
+			return out
 		}
 	}
-	return out
+	return all
 }
 
 // Send transmits a marshalled protocol message from one AD to an adjacent
@@ -207,15 +252,21 @@ func (nw *Network) Send(kind string, from, to ad.ID, payload []byte) bool {
 	nw.Stats.BytesSent += uint64(len(payload))
 	nw.Stats.MessagesByKind[kind]++
 	nw.Stats.BytesByKind[kind] += uint64(len(payload))
-	nw.lastSend = nw.Now()
+	// Convergence marker: when the transmission finishes clocking out, not
+	// when Send was called — a queued message on a bandwidth-limited link
+	// is still "protocol activity" until its last bit leaves.
+	if end := start + tx; end > nw.lastSend {
+		nw.lastSend = end
+	}
 	key := linkKey(from, to)
 	epoch := nw.linkEpoch[key]
-	buf := make([]byte, len(payload))
+	buf := nw.getBuf(len(payload))
 	copy(buf, payload)
 	nw.Engine.After(delay, func() {
 		// A failure while the message was in flight loses it.
 		if nw.down[key] || nw.linkEpoch[key] != epoch {
 			nw.Stats.MessagesDropped++
+			nw.putBuf(buf)
 			return
 		}
 		nw.Stats.DeliveredByLink[key]++
@@ -225,6 +276,7 @@ func (nw *Network) Send(kind string, from, to ad.ID, payload []byte) bool {
 		if node := nw.nodes[to]; node != nil {
 			node.Receive(nw, from, buf)
 		}
+		nw.putBuf(buf)
 	})
 	if p := nw.Engine.Pending(); p > nw.Stats.MaxQueuedPending {
 		nw.Stats.MaxQueuedPending = p
@@ -267,6 +319,11 @@ func (nw *Network) FailLink(a, b ad.ID) error {
 	}
 	nw.down[key] = true
 	nw.linkEpoch[key]++
+	// The failure drops whatever was serializing or queued at either
+	// transmitter; a later restore must start with idle transmitters, not
+	// inherit pre-failure backlog.
+	delete(nw.busyUntil, [2]ad.ID{a, b})
+	delete(nw.busyUntil, [2]ad.ID{b, a})
 	if n := nw.nodes[a]; n != nil {
 		n.LinkDown(nw, b)
 	}

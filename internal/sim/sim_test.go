@@ -429,6 +429,208 @@ func TestSerializationDelayAndFIFO(t *testing.T) {
 	}
 }
 
+// bandwidthPair builds a two-node network whose link has 1ms propagation
+// delay and an 8000 bps transmitter: a 100-byte message takes 100ms to clock
+// out, so serialization dominates and transmitter state is observable.
+func bandwidthPair(t *testing.T) (*Network, ad.ID, ad.ID) {
+	t.Helper()
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: a, B: b, DelayMicros: int64(1 * Millisecond), BandwidthBps: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	return NewNetwork(g, 1), a, b
+}
+
+func TestFailLinkResetsTransmitterState(t *testing.T) {
+	// Regression: FailLink must clear both directed busyUntil entries.
+	// Before the fix, a message sent after fail+restore inherited the
+	// serialization backlog of traffic queued before the failure and was
+	// delayed by the stale busy-until time.
+	nw, a, b := bandwidthPair(t)
+	var arrivals []Time
+	nw.AddNode(&recordNode{id: b, onRecv: func(p []byte, at Time) { arrivals = append(arrivals, at) }})
+	nw.AddNode(&echoNode{id: a})
+	// Two 100-byte messages at t=0 occupy the a->b transmitter until 200ms.
+	nw.Send("m", a, b, make([]byte, 100))
+	nw.Send("m", a, b, make([]byte, 100))
+	nw.Engine.At(2*Millisecond, func() {
+		if err := nw.FailLink(a, b); err != nil {
+			t.Error(err)
+		}
+	})
+	nw.Engine.At(3*Millisecond, func() {
+		if err := nw.RestoreLink(a, b); err != nil {
+			t.Error(err)
+		}
+	})
+	nw.Engine.At(4*Millisecond, func() {
+		// Post-restore the transmitter must be idle: 4ms + 100ms tx +
+		// 1ms prop = 105ms, not 200ms backlog + 100ms + 1ms = 301ms.
+		nw.Send("m", a, b, make([]byte, 100))
+	})
+	nw.Engine.Run()
+	if len(arrivals) != 1 {
+		t.Fatalf("arrivals = %v, want exactly the post-restore message", arrivals)
+	}
+	if arrivals[0] != 105*Millisecond {
+		t.Errorf("post-restore arrival = %v, want 105ms (transmitter not reset)", arrivals[0])
+	}
+	// The two pre-failure messages were lost (epoch), not delivered late.
+	if nw.Stats.MessagesDropped != 2 {
+		t.Errorf("drops = %d, want 2 in-flight losses", nw.Stats.MessagesDropped)
+	}
+}
+
+func TestLastSendIncludesSerialization(t *testing.T) {
+	// Regression: Send used to record lastSend = Now() even though the
+	// transmission finishes clocking out at start+tx, under-reporting
+	// convergence time on bandwidth-limited links.
+	nw, a, b := bandwidthPair(t)
+	nw.AddNode(&echoNode{id: a})
+	nw.AddNode(&recordNode{id: b, onRecv: func([]byte, Time) {}})
+	nw.Send("m", a, b, make([]byte, 100)) // clocks out at 100ms
+	nw.Send("m", a, b, make([]byte, 100)) // queued: clocks out at 200ms
+	if nw.LastSend() != 200*Millisecond {
+		t.Errorf("LastSend = %v, want 200ms (transmission completion)", nw.LastSend())
+	}
+	conv, ok := nw.RunToQuiescence(1 * Second)
+	if !ok {
+		t.Fatal("not quiescent")
+	}
+	if conv != 200*Millisecond {
+		t.Errorf("convergence = %v, want 200ms", conv)
+	}
+}
+
+func TestLastSendMonotoneAcrossLinks(t *testing.T) {
+	// A later quick send on a fast link must not regress the convergence
+	// marker below an earlier long transmission still clocking out.
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	c := g.AddAD("c", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: a, B: b, DelayMicros: int64(Millisecond), BandwidthBps: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(ad.Link{A: a, B: c, DelayMicros: int64(Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(g, 1)
+	nw.Send("slow", a, b, make([]byte, 100)) // clocks out at 100ms
+	nw.Send("fast", a, c, []byte("x"))       // clocks out immediately
+	if nw.LastSend() != 100*Millisecond {
+		t.Errorf("LastSend = %v, want 100ms (must not regress)", nw.LastSend())
+	}
+}
+
+func TestFIFOUnderSerializationManyMessages(t *testing.T) {
+	// Mixed-size back-to-back messages must arrive in send order with
+	// cumulative serialization delays.
+	nw, a, b := bandwidthPair(t)
+	var order []byte
+	var arrivals []Time
+	nw.AddNode(&echoNode{id: a})
+	nw.AddNode(&recordNode{id: b, onRecv: func(p []byte, at Time) {
+		order = append(order, p[len(p)-1])
+		arrivals = append(arrivals, at)
+	}})
+	nw.Send("m", a, b, append(make([]byte, 49), 1))  // 50B: tx 50ms
+	nw.Send("m", a, b, append(make([]byte, 9), 2))   // 10B: tx 10ms
+	nw.Send("m", a, b, append(make([]byte, 199), 3)) // 200B: tx 200ms
+	nw.Send("m", a, b, []byte{4})                    // 1B: tx 1ms
+	nw.Engine.Run()
+	wantOrder := []byte{1, 2, 3, 4}
+	wantAt := []Time{51 * Millisecond, 61 * Millisecond, 261 * Millisecond, 262 * Millisecond}
+	if len(order) != 4 {
+		t.Fatalf("delivered %d messages", len(order))
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Errorf("delivery %d = message %d, want %d (FIFO violated)", i, order[i], wantOrder[i])
+		}
+		if arrivals[i] != wantAt[i] {
+			t.Errorf("delivery %d at %v, want %v", i, arrivals[i], wantAt[i])
+		}
+	}
+}
+
+func TestInFlightLossOnFailFastRestoreEpoch(t *testing.T) {
+	// Epoch semantics on a bandwidth-limited link: everything in flight or
+	// queued at the failed transmitter is lost even when the link comes
+	// back before the scheduled delivery times, while traffic sent after
+	// the restore flows normally.
+	nw, a, b := bandwidthPair(t)
+	var got []byte
+	nw.AddNode(&echoNode{id: a})
+	nw.AddNode(&recordNode{id: b, onRecv: func(p []byte, at Time) { got = append(got, p[0]) }})
+	nw.Send("m", a, b, append(make([]byte, 99), 1)) // delivery at 101ms
+	nw.Send("m", a, b, append(make([]byte, 99), 2)) // delivery at 201ms
+	nw.Engine.At(50*Millisecond, func() {
+		nw.FailLink(a, b)
+		nw.RestoreLink(a, b)
+		nw.Send("m", a, b, []byte{3})
+	})
+	nw.Engine.Run()
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("delivered = %v, want only the post-restore message", got)
+	}
+	if nw.Stats.MessagesDropped != 2 {
+		t.Errorf("drops = %d, want 2", nw.Stats.MessagesDropped)
+	}
+}
+
+func TestEngineStepAfterStopInCallback(t *testing.T) {
+	// A Stop() issued inside an event callback must not wedge a later
+	// Step: Step clears the flag on entry exactly like RunUntil.
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	e.At(3, func() { ran++ })
+	if !e.Step() {
+		t.Fatal("first Step = false")
+	}
+	if !e.Step() {
+		t.Fatal("Step after in-callback Stop = false")
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	// And a RunUntil after a stale Stop proceeds too.
+	e.At(4, func() { ran++; e.Stop() })
+	e.Run()
+	if ran != 4 {
+		t.Errorf("after Run ran = %d, want 4", ran)
+	}
+}
+
+func TestPayloadBufferReuseIsolation(t *testing.T) {
+	// Recycled payload buffers must never leak stale bytes into a later
+	// delivery: every Receive sees exactly the bytes passed to Send.
+	nw, na, nb := twoNodeNet(t)
+	msgs := []string{"alpha", "be", "gamma-gamma", "x"}
+	var got []string
+	nb.received = nil
+	recv := &recordNode{id: nb.id, onRecv: func(p []byte, at Time) {
+		got = append(got, string(p))
+	}}
+	nw.nodes[nb.id] = recv // swap in a recorder for b
+	for _, m := range msgs {
+		nw.Send("m", na.id, nb.id, []byte(m))
+		nw.Engine.Run()
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("received %d messages, want %d", len(got), len(msgs))
+	}
+	for i, m := range msgs {
+		if got[i] != m {
+			t.Errorf("message %d = %q, want %q (buffer reuse corruption)", i, got[i], m)
+		}
+	}
+}
+
 // recordNode records payload arrivals with timestamps.
 type recordNode struct {
 	id     ad.ID
