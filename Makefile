@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results
+.PHONY: all build test check fmt vet race bench bench-smoke results
 
 all: build
 
@@ -28,6 +28,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-smoke runs every benchmark exactly once — CI uses it to catch
+# benchmarks that no longer compile or that crash, without paying for
+# real measurement. BenchmarkE20RouteServer also emits
+# BENCH_routeserver.json (untracked) as a machine-readable side effect.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate the committed golden output for the default seed.
 results:

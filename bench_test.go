@@ -8,8 +8,11 @@
 package repro
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/core"
@@ -18,9 +21,11 @@ import (
 	"repro/internal/policy"
 	"repro/internal/protocols/ecma"
 	"repro/internal/protocols/orwg"
+	"repro/internal/routeserver"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/topology"
+	"repro/internal/trafficgen"
 	"repro/internal/wire"
 )
 
@@ -155,6 +160,89 @@ func BenchmarkE18PathStretch(b *testing.B) {
 func BenchmarkE19MultihomedStubs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sink += len(experiments.E19MultihomedStubs(benchSeed).Rows)
+	}
+}
+
+// BenchmarkE20RouteServer compares the caching/coalescing route server
+// against naive per-request synthesis on a Zipf-skewed workload, then
+// emits the measurements as BENCH_routeserver.json (machine-readable;
+// consumed by the bench-smoke CI step). Wall-clock QPS is hardware- and
+// scheduling-dependent; the synthesis-reduction ratio is deterministic.
+func BenchmarkE20RouteServer(b *testing.B) {
+	topo, db := benchTopo()
+	workload := trafficgen.Generate(topo.Graph, trafficgen.Config{
+		Seed: benchSeed, Requests: 2000, StubsOnly: true,
+		Model: "zipf", ZipfS: 1.4, QOSClasses: 2, UCIClasses: 2,
+	})
+
+	var cachedQPS, naiveQPS float64
+	var synthCached, synthNaive uint64
+
+	b.Run("cached", func(b *testing.B) {
+		srv := routeserver.New(synthesis.NewOnDemand(topo.Graph, db), routeserver.Config{})
+		served := 0
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sink += len(routeserver.ServePhase(srv, workload, 4))
+			served += len(workload)
+		}
+		if el := time.Since(start).Seconds(); el > 0 {
+			cachedQPS = float64(served) / el
+		}
+		synthCached = srv.Snapshot().Misses
+	})
+
+	b.Run("naive", func(b *testing.B) {
+		served := 0
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, req := range workload {
+				res := synthesis.FindRoute(topo.Graph, db, req)
+				sink += res.Expanded
+				synthNaive++
+			}
+			served += len(workload)
+		}
+		if el := time.Since(start).Seconds(); el > 0 {
+			naiveQPS = float64(served) / el
+		}
+	})
+
+	writeRouteServerBench(b, benchReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Requests:    len(workload),
+		CachedQPS:   cachedQPS,
+		NaiveQPS:    naiveQPS,
+		SynthCached: synthCached,
+		SynthNaive:  synthNaive,
+		Reduction:   float64(synthNaive) / float64(synthCached),
+	})
+}
+
+type benchReport struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Requests    int     `json:"requests"`
+	CachedQPS   float64 `json:"cached_qps"`
+	NaiveQPS    float64 `json:"naive_qps"`
+	Speedup     float64 `json:"cached_speedup"`
+	SynthCached uint64  `json:"synth_cached"`
+	SynthNaive  uint64  `json:"synth_naive"`
+	Reduction   float64 `json:"synth_reduction"`
+}
+
+func writeRouteServerBench(b *testing.B, r benchReport) {
+	// Speedup is naive time per request over cached time per request.
+	if r.NaiveQPS > 0 {
+		r.Speedup = r.CachedQPS / r.NaiveQPS
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_routeserver.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_routeserver.json: %v", err)
 	}
 }
 

@@ -1,0 +1,382 @@
+// Command routed fronts the route-server serving layer (§5.4): a concurrent
+// query engine — sharded route cache, request coalescing, generation-based
+// invalidation — wrapped around a route-synthesis strategy.
+//
+// Two modes:
+//
+//   - Line mode (default): reads queries from stdin, one per line
+//     ("SRC DST [QOS UCI HOUR]"), answers each, and accepts the commands
+//     "fail A B", "restore A B", "policy AD COST", "stats", and "quit".
+//
+//   - Load mode (-load): replays a synthetic workload (uniform / Zipf /
+//     gravity) from -clients concurrent goroutines, optionally injecting
+//     churn mid-run (-churn, or a -scenario file's event timeline), then
+//     prints a serving report. -bench-json writes it machine-readably.
+//
+// The internet is either generated (-seed and the topology defaults shared
+// with the experiment harness) or taken from a -scenario file, in which case
+// the scenario's workload and events are used too.
+//
+// Usage:
+//
+//	routed [-strategy on-demand|precomputed|hybrid|pruned] [-load] \
+//	       [-scenario file.json] [-seed N] [-requests N] [-model zipf] \
+//	       [-clients N] [-churn] [-cache N] [-shards N] [-workers N] \
+//	       [-qos N] [-uci N] [-bench-json file]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/scenario"
+	"repro/internal/synthesis"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario file supplying topology, policy, workload, and churn events")
+		seed         = flag.Int64("seed", 42, "seed for the generated internet and workload")
+		strategy     = flag.String("strategy", "on-demand", "synthesis strategy: on-demand, precomputed, hybrid, pruned")
+		cacheCap     = flag.Int("cache", 0, "server route-cache capacity in entries (0 = default, <0 = unbounded)")
+		shards       = flag.Int("shards", 0, "cache shard count, rounded up to a power of two (0 = default)")
+		workers      = flag.Int("workers", 0, "max concurrent synthesis computations (0 = GOMAXPROCS)")
+		load         = flag.Bool("load", false, "run the load generator instead of reading stdin")
+		clients      = flag.Int("clients", 4, "concurrent client goroutines in load mode")
+		requests     = flag.Int("requests", 2000, "workload length in load mode (ignored with -scenario)")
+		model        = flag.String("model", "zipf", "workload model in load mode: uniform, zipf, gravity")
+		zipfS        = flag.Float64("zipf", 1.4, "Zipf skew for -model zipf")
+		qosClasses   = flag.Int("qos", 2, "QOS classes in the workload and precomputation")
+		uciClasses   = flag.Int("uci", 2, "UCI classes in the workload and precomputation")
+		churn        = flag.Bool("churn", false, "load mode: fail a lateral link at 40% and restore it at 70% of the run")
+		benchJSON    = flag.String("bench-json", "", "load mode: also write the report as JSON to this file")
+	)
+	flag.Parse()
+
+	g, db, workload, events, err := materialize(*scenarioPath, *seed, *requests, *model, *zipfS, *qosClasses, *uciClasses)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := routeserver.New(buildStrategy(*strategy, g, db, workload, *qosClasses, *uciClasses), routeserver.Config{
+		Shards:   *shards,
+		Capacity: *cacheCap,
+		Workers:  *workers,
+	})
+
+	if *load {
+		if *churn {
+			events = append(events, churnEvents(g)...)
+		}
+		rep := routeserver.Run(srv, workload, routeserver.LoadConfig{Clients: *clients, Events: events})
+		printReport(os.Stdout, srv, rep)
+		if *benchJSON != "" {
+			if err := writeJSON(*benchJSON, srv, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	serve(os.Stdin, os.Stdout, srv, g, db)
+}
+
+// materialize builds the internet and workload, either from a scenario file
+// (whose events become the churn timeline, spread evenly through the run)
+// or generated from the seed.
+func materialize(path string, seed int64, requests int, model string, zipfS float64, qos, uci int) (
+	*ad.Graph, *policy.DB, []policy.Request, []routeserver.Event, error) {
+	if path == "" {
+		topo := topology.Generate(topology.Config{
+			Seed:                 seed,
+			Backbones:            2,
+			RegionalsPerBackbone: 3,
+			CampusesPerParent:    3,
+			LateralProb:          0.25,
+			BypassProb:           0.10,
+			MultihomedProb:       0.15,
+			HybridProb:           0.15,
+		})
+		db := policy.Generate(topo.Graph, policy.GenConfig{
+			Seed:                  seed,
+			SourceRestrictionProb: 0.6,
+			SourceFraction:        0.5,
+			DestRestrictionProb:   0.2,
+			DestFraction:          0.7,
+			AvoidProb:             0.2,
+		})
+		workload := trafficgen.Generate(topo.Graph, trafficgen.Config{
+			Seed:       seed + 2,
+			Requests:   requests,
+			StubsOnly:  true,
+			Model:      model,
+			ZipfS:      zipfS,
+			QOSClasses: qos,
+			UCIClasses: uci,
+		})
+		return topo.Graph, db, workload, nil, nil
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer f.Close()
+	sc, err := scenario.Load(f)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	g, db, workload, err := sc.Materialize()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	muts, err := sc.Mutations(g, db)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	events := make([]routeserver.Event, len(muts))
+	for i, m := range muts {
+		events[i] = routeserver.Event{
+			After: float64(i+1) / float64(len(muts)+1),
+			Label: m.Label,
+			Apply: m.Apply,
+		}
+	}
+	return g, db, workload, events, nil
+}
+
+// buildStrategy constructs the named synthesis strategy sized to the
+// workload's class spread.
+func buildStrategy(kind string, g *ad.Graph, db *policy.DB, workload []policy.Request, qos, uci int) synthesis.Strategy {
+	switch kind {
+	case "precomputed":
+		var all []policy.Request
+		for q := 0; q < max(qos, 1); q++ {
+			for u := 0; u < max(uci, 1); u++ {
+				all = append(all, core.AllPairsRequests(g, true, policy.QOS(q), policy.UCI(u))...)
+			}
+		}
+		return synthesis.NewPrecomputed(g, db, all)
+	case "hybrid":
+		hot := len(workload) / 10
+		if hot == 0 {
+			hot = len(workload)
+		}
+		return synthesis.NewHybrid(g, db, workload[:hot])
+	case "pruned":
+		var stubs []ad.ID
+		for _, info := range g.ADs() {
+			if info.Class == ad.Stub || info.Class == ad.MultihomedStub {
+				stubs = append(stubs, info.ID)
+			}
+		}
+		return synthesis.NewPrunedConfig(g, db, stubs, synthesis.PrunedConfig{
+			HopRadius: 2, QOSClasses: qos, UCIClasses: uci,
+		})
+	case "on-demand":
+		return synthesis.NewOnDemand(g, db)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q; choose on-demand, precomputed, hybrid, or pruned\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// churnEvents is the built-in -churn timeline: the first lateral link (or,
+// failing that, the first link) goes down at 40% of the run and comes back
+// at 70%.
+func churnEvents(g *ad.Graph) []routeserver.Event {
+	links := g.Links()
+	if len(links) == 0 {
+		return nil
+	}
+	target := links[0]
+	for _, l := range links {
+		if l.Class == ad.Lateral {
+			target = l
+			break
+		}
+	}
+	return []routeserver.Event{
+		{After: 0.4, Label: fmt.Sprintf("fail %v-%v", target.A, target.B),
+			Apply: func() { g.RemoveLink(target.A, target.B) }},
+		{After: 0.7, Label: fmt.Sprintf("restore %v-%v", target.A, target.B),
+			Apply: func() { _ = g.AddLink(target) }},
+	}
+}
+
+// printReport renders a load-mode serving report.
+func printReport(w *os.File, srv *routeserver.Server, rep routeserver.Report) {
+	m := rep.Metrics
+	fmt.Fprintf(w, "strategy    %s\n", srv.StrategyName())
+	fmt.Fprintf(w, "requests    %d (%d served, %d no-route)\n", rep.Requests, rep.Served, rep.NoRoute)
+	fmt.Fprintf(w, "elapsed     %v (%.0f qps)\n", rep.Elapsed, rep.QPS)
+	fmt.Fprintf(w, "cache       %d hits, %d coalesced, %d misses (%.1f%% served without synthesis)\n",
+		m.Hits, m.Coalesced, m.Misses, 100*m.HitRate())
+	fmt.Fprintf(w, "churn       %d invalidations, %d evictions\n", m.Invalidations, m.Evictions)
+	fmt.Fprintf(w, "latency     p50 %v  p95 %v  p99 %v\n", m.Latency.P50, m.Latency.P95, m.Latency.P99)
+	st := rep.Strategy
+	fmt.Fprintf(w, "synthesis   %d precompute + %d on-demand expansions, %d entries cached by the strategy\n",
+		st.PrecomputeExpansions, st.OnDemandExpansions, st.CacheEntries)
+}
+
+// writeJSON writes the machine-readable form of the report.
+func writeJSON(path string, srv *routeserver.Server, rep routeserver.Report) error {
+	m := rep.Metrics
+	out, err := json.MarshalIndent(map[string]any{
+		"strategy":      srv.StrategyName(),
+		"requests":      rep.Requests,
+		"served":        rep.Served,
+		"no_route":      rep.NoRoute,
+		"elapsed_ns":    rep.Elapsed.Nanoseconds(),
+		"qps":           rep.QPS,
+		"hits":          m.Hits,
+		"coalesced":     m.Coalesced,
+		"misses":        m.Misses,
+		"hit_rate":      m.HitRate(),
+		"invalidations": m.Invalidations,
+		"evictions":     m.Evictions,
+		"latency_p50":   m.Latency.P50.Nanoseconds(),
+		"latency_p95":   m.Latency.P95.Nanoseconds(),
+		"latency_p99":   m.Latency.P99.Nanoseconds(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// serve runs line mode: one query or command per stdin line.
+func serve(in *os.File, out *os.File, srv *routeserver.Server, g *ad.Graph, db *policy.DB) {
+	// Links removed by "fail" are remembered so "restore" can re-add them
+	// with their original class and cost.
+	removed := map[[2]ad.ID]ad.Link{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "stats":
+			m := srv.Snapshot()
+			fmt.Fprintf(out, "gen %d: %d queries, %d hits, %d coalesced, %d misses, %d failures, %d cached\n",
+				srv.Generation(), m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, srv.CacheLen())
+		case "fail", "restore":
+			a, b, ok := twoIDs(fields[1:])
+			if !ok {
+				fmt.Fprintf(out, "usage: %s A B\n", fields[0])
+				continue
+			}
+			if fields[0] == "fail" {
+				link, found := linkOf(g, a, b)
+				if !found {
+					fmt.Fprintf(out, "no link %v-%v\n", a, b)
+					continue
+				}
+				removed[[2]ad.ID{link.A, link.B}] = link
+				srv.Mutate(func() { g.RemoveLink(a, b) })
+			} else {
+				key := ad.Link{A: a, B: b}.Canonical()
+				link, found := removed[[2]ad.ID{key.A, key.B}]
+				if !found {
+					fmt.Fprintf(out, "link %v-%v was not failed here\n", a, b)
+					continue
+				}
+				delete(removed, [2]ad.ID{key.A, key.B})
+				srv.Mutate(func() { _ = g.AddLink(link) })
+			}
+			fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+		case "policy":
+			// policy AD COST: replace the AD's terms with one open term.
+			a, c, ok := twoIDs(fields[1:])
+			if !ok {
+				fmt.Fprintln(out, "usage: policy AD COST")
+				continue
+			}
+			term := policy.OpenTerm(a, 0)
+			term.Cost = uint32(c)
+			srv.Mutate(func() { db.SetTerms(a, []policy.Term{term}) })
+			fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+		default:
+			req, err := parseQuery(fields)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			res := srv.Query(req)
+			if res.Found {
+				fmt.Fprintf(out, "%v\n", res.Path)
+			} else {
+				fmt.Fprintf(out, "no-route %v\n", req)
+			}
+		}
+	}
+}
+
+// parseQuery parses "SRC DST [QOS UCI HOUR]".
+func parseQuery(fields []string) (policy.Request, error) {
+	var req policy.Request
+	if len(fields) < 2 || len(fields) > 5 {
+		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, stats, quit")
+	}
+	vals := make([]uint64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return req, fmt.Errorf("bad number %q", f)
+		}
+		vals[i] = v
+	}
+	req.Src, req.Dst = ad.ID(vals[0]), ad.ID(vals[1])
+	if len(vals) > 2 {
+		req.QOS = policy.QOS(vals[2])
+	}
+	if len(vals) > 3 {
+		req.UCI = policy.UCI(vals[3])
+	}
+	if len(vals) > 4 {
+		req.Hour = uint8(vals[4])
+	}
+	return req, nil
+}
+
+// twoIDs parses two numeric arguments.
+func twoIDs(fields []string) (ad.ID, ad.ID, bool) {
+	if len(fields) != 2 {
+		return 0, 0, false
+	}
+	a, errA := strconv.ParseUint(fields[0], 10, 32)
+	b, errB := strconv.ParseUint(fields[1], 10, 32)
+	if errA != nil || errB != nil {
+		return 0, 0, false
+	}
+	return ad.ID(a), ad.ID(b), true
+}
+
+// linkOf returns the graph's link between a and b, if present.
+func linkOf(g *ad.Graph, a, b ad.ID) (ad.Link, bool) {
+	want := ad.Link{A: a, B: b}.Canonical()
+	for _, l := range g.Links() {
+		if l.A == want.A && l.B == want.B {
+			return l, true
+		}
+	}
+	return ad.Link{}, false
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/synthesis"
+	"repro/internal/trafficgen"
+)
+
+// E20RouteServer measures the route-server serving layer (§5.4/§5.4.1):
+// a concurrent query engine — sharded route cache, singleflight coalescing,
+// generation invalidation — wrapped around each synthesis strategy, serving
+// skewed workloads with and without mid-serve churn (a link failure plus a
+// policy change, each of which invalidates every cached route).
+//
+// Reported counters are scheduling-independent by construction: with an
+// uncapped cache, negative caching, and coalescing, the server runs exactly
+// one synthesis per unique (src,dst,qos,uci,hour) key per generation, so
+// "synth" is deterministic even though four client goroutines race on the
+// cache. Naive on-demand serving runs one synthesis per request; "saved" is
+// the ratio. Wall-clock throughput and tail latency are measured by
+// cmd/routed's load mode and BenchmarkE20RouteServer, which emits
+// BENCH_routeserver.json.
+func E20RouteServer(seed int64) *metrics.Table {
+	t := metrics.NewTable("E20 — route-server serving layer",
+		"workload", "churn", "strategy", "reqs", "synth", "naive", "saved",
+		"cache-rate", "pre-work", "fail", "oracle-ok")
+
+	const requests = 600
+	const clients = 4
+	base := defaultTopology(seed)
+
+	for _, model := range []string{"uniform", "zipf"} {
+		workload := trafficgen.Generate(base.Graph, trafficgen.Config{
+			Seed: seed + 2, Requests: requests, StubsOnly: true,
+			Model: model, ZipfS: 1.4, QOSClasses: 2, UCIClasses: 2,
+		})
+		for _, churn := range []bool{false, true} {
+			for _, kind := range []string{"on-demand", "precomputed", "hybrid", "pruned"} {
+				// Churn mutates the graph and policy database, so every
+				// row gets a private copy of both.
+				g := base.Graph.Clone()
+				db := restrictedPolicy(g, seed)
+				srv := routeserver.New(buildE20Strategy(kind, g, db, workload), routeserver.Config{})
+
+				phases := [][]policy.Request{workload}
+				if churn {
+					phases = [][]policy.Request{workload[:requests/2], workload[requests/2:]}
+				}
+				var oracleOK, failures int
+				for pi, phase := range phases {
+					if pi > 0 {
+						srv.Mutate(func() { applyE20Churn(g, db) })
+					}
+					results := routeserver.ServePhase(srv, phase, clients)
+					for i, req := range phase {
+						want := synthesis.FindRoute(g, db, req)
+						if results[i].Found == want.Found &&
+							(!want.Found || results[i].Path.Equal(want.Path)) {
+							oracleOK++
+						}
+						if !results[i].Found {
+							failures++
+						}
+					}
+				}
+
+				snap := srv.Snapshot()
+				churnLabel := "none"
+				if churn {
+					churnLabel = "fail+policy"
+				}
+				t.AddRow(model, churnLabel, srv.StrategyName(),
+					requests, snap.Misses, requests,
+					metrics.Ratio(float64(requests), float64(snap.Misses)),
+					snap.HitRate(),
+					srv.StrategyStats().PrecomputeExpansions,
+					failures, oracleOK)
+			}
+		}
+	}
+	t.AddNote("synth = synthesis computations run by the serving layer (4 concurrent clients); naive on-demand serving runs one per request")
+	t.AddNote("saved = naive/synth; coalescing + caching computes each unique key once per generation, so skewed workloads save most (§5.4.1)")
+	t.AddNote("churn = a lateral-link failure plus a transit policy change at half-serve; each bumps the cache generation and rebuilds the strategy")
+	t.AddNote("oracle-ok = served results identical to the exact search on the then-current topology; throughput/latency: see cmd/routed -load and BENCH_routeserver.json")
+	return t
+}
+
+// buildE20Strategy constructs the named synthesis strategy for the E20
+// internet, covering the workload's class spread (QOS/UCI in {0,1}).
+func buildE20Strategy(kind string, g *ad.Graph, db *policy.DB, workload []policy.Request) synthesis.Strategy {
+	switch kind {
+	case "precomputed":
+		var all []policy.Request
+		for qos := 0; qos < 2; qos++ {
+			for uci := 0; uci < 2; uci++ {
+				all = append(all, core.AllPairsRequests(g, true, policy.QOS(qos), policy.UCI(uci))...)
+			}
+		}
+		return synthesis.NewPrecomputed(g, db, all)
+	case "hybrid":
+		return synthesis.NewHybrid(g, db, hottestRequests(workload, len(workload)/10))
+	case "pruned":
+		var stubs []ad.ID
+		for _, info := range g.ADs() {
+			if info.Class == ad.Stub || info.Class == ad.MultihomedStub {
+				stubs = append(stubs, info.ID)
+			}
+		}
+		return synthesis.NewPrunedConfig(g, db, stubs, synthesis.PrunedConfig{
+			HopRadius: 2, QOSClasses: 2, UCIClasses: 2,
+		})
+	default:
+		return synthesis.NewOnDemand(g, db)
+	}
+}
+
+// applyE20Churn injects the mid-serve events: the first lateral link fails
+// and the busiest transit AD replaces its policy with a single expensive
+// open term (rerouting traffic that used it as a cheap transit).
+func applyE20Churn(g *ad.Graph, db *policy.DB) {
+	for _, l := range g.Links() {
+		if l.Class == ad.Lateral {
+			g.RemoveLink(l.A, l.B)
+			break
+		}
+	}
+	var busiest ad.ID
+	bestDeg := -1
+	for _, info := range g.ADs() {
+		if info.Class != ad.Transit {
+			continue
+		}
+		if d := g.Degree(info.ID); d > bestDeg || (d == bestDeg && info.ID < busiest) {
+			busiest, bestDeg = info.ID, d
+		}
+	}
+	if bestDeg >= 0 {
+		expensive := policy.OpenTerm(busiest, 0)
+		expensive.Cost = 10
+		db.SetTerms(busiest, []policy.Term{expensive})
+	}
+}

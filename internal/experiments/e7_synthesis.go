@@ -103,7 +103,13 @@ func hottestRequests(workload []policy.Request, n int) []policy.Request {
 		if keys[i].src != keys[j].src {
 			return keys[i].src < keys[j].src
 		}
-		return keys[i].dst < keys[j].dst
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		if keys[i].qos != keys[j].qos {
+			return keys[i].qos < keys[j].qos
+		}
+		return keys[i].uci < keys[j].uci
 	})
 	if n > len(keys) {
 		n = len(keys)

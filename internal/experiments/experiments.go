@@ -77,6 +77,7 @@ var independent = []func(int64) *metrics.Table{
 	E17SetupAmortization,
 	E18PathStretch,
 	E19MultihomedStubs,
+	E20RouteServer,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

@@ -189,3 +189,49 @@ func TestE19MultihomedStubs(t *testing.T) {
 		}
 	}
 }
+
+func TestE20RouteServer(t *testing.T) {
+	tbl := E20RouteServer(seed)
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tbl.Rows))
+	}
+	type rowKey struct{ model, churn, strategy string }
+	rows := map[rowKey][]string{}
+	for _, row := range tbl.Rows {
+		// Every served result must agree with the oracle, and the serving
+		// layer must never compute more than naive per-request synthesis.
+		if row[10] != row[3] {
+			t.Errorf("%s/%s/%s: oracle-ok %s of %s", row[0], row[1], row[2], row[10], row[3])
+		}
+		if parseFloat(t, row[4]) > parseFloat(t, row[5]) {
+			t.Errorf("%s/%s/%s: served with more synthesis (%s) than naive (%s)", row[0], row[1], row[2], row[4], row[5])
+		}
+		rows[rowKey{row[0], row[1], row[2]}] = row
+	}
+	// Coalescing + caching must at least halve synthesis on the skewed
+	// workload (the §5.4.1 claim), and skew must amortize better than
+	// uniform demand.
+	zipf := rows[rowKey{"zipf", "none", "on-demand"}]
+	uniform := rows[rowKey{"uniform", "none", "on-demand"}]
+	if saved := parseFloat(t, zipf[6]); saved < 2 {
+		t.Errorf("zipf saved = %.3f, want >= 2", saved)
+	}
+	if parseFloat(t, zipf[6]) <= parseFloat(t, uniform[6]) {
+		t.Error("zipf workload did not amortize better than uniform")
+	}
+	// Churn re-earns the cache, so it can only cost synthesis.
+	if parseFloat(t, rows[rowKey{"zipf", "fail+policy", "on-demand"}][4]) <=
+		parseFloat(t, zipf[4]) {
+		t.Error("churn did not increase synthesis")
+	}
+	// The serving layer is strategy-orthogonal: every strategy needs the
+	// same demand computations on the same workload.
+	for _, churn := range []string{"none", "fail+policy"} {
+		base := rows[rowKey{"zipf", churn, "on-demand"}][4]
+		for _, s := range []string{"precomputed", "hybrid", "pruned"} {
+			if got := rows[rowKey{"zipf", churn, s}][4]; got != base {
+				t.Errorf("zipf/%s/%s: synth %s != on-demand %s", churn, s, got, base)
+			}
+		}
+	}
+}

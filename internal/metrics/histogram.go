@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram: 64 power-of-two buckets over
+// nanosecond durations, safe for concurrent Observe from any number of
+// goroutines. Quantiles are estimated by linear interpolation inside the
+// containing bucket, so they carry at most one-bucket (2x) resolution —
+// ample for the p50/p95/p99 shape reporting the route server needs.
+type Histogram struct {
+	buckets [65]atomic.Uint64 // buckets[i] counts values with bit length i
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bits.Len64(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) of the observed
+// durations. With no observations it returns 0.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			// Interpolate within bucket i, which spans [lo, hi).
+			lo, hi := bucketBounds(i)
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return 0
+}
+
+// bucketBounds returns the value range covered by bucket i: bit length i
+// means values in [2^(i-1), 2^i), with bucket 0 holding exactly zero.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// LatencySummary is a point-in-time digest of a Histogram.
+type LatencySummary struct {
+	Count         uint64
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Snapshot digests the histogram. Concurrent Observe calls during the
+// snapshot can skew the digest by the in-flight observations, which is the
+// usual and acceptable histogram-scrape semantics.
+func (h *Histogram) Snapshot() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read all zeros")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1µs x90, 1ms x9, 100ms x1.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Buckets are power-of-two, so quantiles are good to a factor of 2.
+	within2x := func(got, want time.Duration) bool {
+		return got >= want/2 && got <= want*2
+	}
+	if p50 := h.Quantile(0.50); !within2x(p50, time.Microsecond) {
+		t.Errorf("P50 = %v, want ~1µs", p50)
+	}
+	if p95 := h.Quantile(0.95); !within2x(p95, time.Millisecond) {
+		t.Errorf("P95 = %v, want ~1ms", p95)
+	}
+	if p99 := h.Quantile(0.99); !within2x(p99, time.Millisecond) {
+		t.Errorf("P99 = %v, want ~1ms", p99)
+	}
+	if p100 := h.Quantile(1.0); !within2x(p100, 100*time.Millisecond) {
+		t.Errorf("P100 = %v, want ~100ms", p100)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.P50 == 0 || s.P99 < s.P50 {
+		t.Errorf("bad snapshot: %+v", s)
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSummaryP99(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P99 < s.P95 || s.P99 > s.Max {
+		t.Fatalf("P99 = %v out of order (P95=%v Max=%v)", s.P99, s.P95, s.Max)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Fatalf("P99 = %v, want ~99", s.P99)
+	}
+}

@@ -98,7 +98,7 @@ func (t *Table) String() string {
 type Summary struct {
 	Count          int
 	Min, Max, Mean float64
-	P50, P95       float64
+	P50, P95, P99  float64
 }
 
 // Summarize computes summary statistics for xs (zero Summary when empty).
@@ -129,6 +129,7 @@ func Summarize(xs []float64) Summary {
 		Mean:  sum / float64(len(sorted)),
 		P50:   q(0.5),
 		P95:   q(0.95),
+		P99:   q(0.99),
 	}
 }
 

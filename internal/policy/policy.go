@@ -405,6 +405,18 @@ func (db *DB) Clone() *DB {
 	return c
 }
 
+// SetTerms replaces id's advertised terms in place (advertiser fields are
+// forced to id). The route server uses this for policy changes on a live
+// database; callers must hold off concurrent readers while mutating (e.g.
+// via routeserver.Server.Mutate).
+func (db *DB) SetTerms(id ad.ID, terms []Term) {
+	db.terms[id] = nil
+	for _, t := range terms {
+		t.Advertiser = id
+		db.Add(t)
+	}
+}
+
 // WithTerms returns a copy of the database in which id's terms are replaced
 // by the given set (advertiser fields are forced to id). Criteria are
 // preserved. Policy-impact analysis and runtime policy changes use this to

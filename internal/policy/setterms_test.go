@@ -1,0 +1,42 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+)
+
+func TestSetTermsReplacesInPlace(t *testing.T) {
+	db := NewDB()
+	db.Add(OpenTerm(3, 0))
+	db.Add(OpenTerm(3, 0))
+	db.Add(OpenTerm(5, 0))
+	if got := len(db.Terms(3)); got != 2 {
+		t.Fatalf("setup: %d terms", got)
+	}
+
+	repl := OpenTerm(9, 0) // advertiser field must be forced to 3
+	repl.Cost = 7
+	db.SetTerms(3, []Term{repl})
+
+	terms := db.Terms(3)
+	if len(terms) != 1 {
+		t.Fatalf("len(Terms(3)) = %d, want 1", len(terms))
+	}
+	if terms[0].Advertiser != ad.ID(3) || terms[0].Cost != 7 {
+		t.Fatalf("stored term = %+v", terms[0])
+	}
+	if len(db.Terms(5)) != 1 {
+		t.Fatal("unrelated advertiser mutated")
+	}
+
+	db.SetTerms(5, nil)
+	if len(db.Terms(5)) != 0 {
+		t.Fatal("SetTerms(nil) should clear the advertiser")
+	}
+	for _, adv := range db.Advertisers() {
+		if adv == ad.ID(5) {
+			t.Fatal("cleared advertiser still listed")
+		}
+	}
+}

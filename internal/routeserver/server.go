@@ -1,0 +1,381 @@
+// Package routeserver is the concurrent serving layer over route synthesis:
+// the paper's route servers (§5.4) synthesize policy routes on behalf of
+// clients, and §5.4.1 leaves open how to make that fast at scale. This
+// package wraps any synthesis.Strategy behind a thread-safe query engine:
+//
+//   - a sharded LRU route cache keyed by (src, dst, QOS, UCI, hour) with
+//     generation-based invalidation on topology/policy-change events,
+//   - singleflight request coalescing, so concurrent misses for the same
+//     key trigger exactly one synthesis,
+//   - a bounded worker pool for miss computation (strategies themselves
+//     are single-threaded; the pool bounds queued synthesis work),
+//   - an atomic server-metrics layer: query/hit/miss/coalesce counters and
+//     a latency histogram with p50/p95/p99.
+//
+// Correctness contract: a query observes either the state before an
+// invalidation or after it, never a mix — cached entries are tagged with
+// the generation that produced them and are never served across a bump.
+package routeserver
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ad"
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/synthesis"
+)
+
+// Key is the serving-cache key. Unlike the strategies' internal tables it
+// includes the request hour, so the serving layer stays correct even for
+// hour-sensitive strategies; for hour-insensitive ones the extra field only
+// fragments the cache, never corrupts it.
+type Key struct {
+	Src, Dst ad.ID
+	QOS      policy.QOS
+	UCI      policy.UCI
+	Hour     uint8
+}
+
+// KeyOf derives the serving-cache key for a request.
+func KeyOf(req policy.Request) Key {
+	return Key{Src: req.Src, Dst: req.Dst, QOS: req.QOS, UCI: req.UCI, Hour: req.Hour}
+}
+
+// hash is FNV-1a over the key's fields, used to pick a cache shard.
+func (k Key) hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for _, v := range []uint32{uint32(k.Src), uint32(k.Dst)} {
+		mix(byte(v))
+		mix(byte(v >> 8))
+		mix(byte(v >> 16))
+		mix(byte(v >> 24))
+	}
+	mix(byte(k.QOS))
+	mix(byte(k.UCI))
+	mix(k.Hour)
+	return h
+}
+
+// Result is one served route answer.
+type Result struct {
+	// Path is the synthesized route (nil when Found is false).
+	Path ad.Path
+	// Found reports whether a legal route exists.
+	Found bool
+}
+
+// Config parameterizes a Server. The zero value is usable: 16 shards,
+// 65536 total entries, one miss worker per CPU.
+type Config struct {
+	// Shards is the cache shard count, rounded up to a power of two
+	// (default 16). More shards = less hit-path contention.
+	Shards int
+	// Capacity is the total cache capacity in entries, split evenly
+	// across shards (default 65536; < 0 = unbounded).
+	Capacity int
+	// Workers bounds concurrent miss computations (default GOMAXPROCS).
+	// Coalesced waiters do not consume workers.
+	Workers int
+}
+
+func (c Config) normalize() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// cached is one route-cache entry, tagged with the generation whose
+// topology/policy state produced it.
+type cached struct {
+	gen   uint64
+	path  ad.Path
+	found bool
+}
+
+// shard is one lockable slice of the route cache.
+type shard struct {
+	mu  sync.Mutex
+	lru *cache.LRU[Key, cached]
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	wg  sync.WaitGroup
+	res Result
+}
+
+// sfKey scopes coalescing to a generation: a miss issued after an
+// invalidation never joins a computation started before it.
+type sfKey struct {
+	gen uint64
+	key Key
+}
+
+// Metrics is the server's atomic instrumentation. Read it via Snapshot.
+type Metrics struct {
+	queries       atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64 // singleflight leaders = synthesis computations
+	coalesced     atomic.Uint64 // waiters served by another query's computation
+	failures      atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	latency       metrics.Histogram
+}
+
+// MetricsSnapshot is a point-in-time copy of the server counters.
+type MetricsSnapshot struct {
+	// Queries is the total query count; every query is exactly one of a
+	// Hit, a Miss (it ran the synthesis), or a Coalesced wait.
+	Queries uint64
+	// Hits were served from the sharded cache.
+	Hits uint64
+	// Misses ran a synthesis computation (the singleflight leaders).
+	Misses uint64
+	// Coalesced joined another query's in-flight computation.
+	Coalesced uint64
+	// Failures are queries answered "no legal route".
+	Failures uint64
+	// Evictions counts cache entries dropped for capacity.
+	Evictions uint64
+	// Invalidations counts generation bumps.
+	Invalidations uint64
+	// Latency digests per-query serving latency.
+	Latency metrics.LatencySummary
+}
+
+// HitRate returns the fraction of queries served without running a
+// synthesis (cache hits plus coalesced waits).
+func (s MetricsSnapshot) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(s.Queries)
+}
+
+// Server is the concurrent route-query engine. Queries may be issued from
+// any number of goroutines; Invalidate/Mutate may run concurrently with
+// queries.
+type Server struct {
+	cfg      Config
+	gen      atomic.Uint64
+	shards   []shard
+	mask     uint32
+	met      Metrics
+	workers  chan struct{}
+	sfMu     sync.Mutex
+	sfCalls  map[sfKey]*call
+	stratMu  sync.Mutex // serializes strategy calls and invalidation mutations
+	strategy synthesis.Strategy
+}
+
+// New wraps the strategy in a serving layer. The strategy must not be used
+// directly while the server is live: the server owns it (strategies are
+// single-threaded; the server serializes access).
+func New(strategy synthesis.Strategy, cfg Config) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:      cfg,
+		shards:   make([]shard, cfg.Shards),
+		mask:     uint32(cfg.Shards - 1),
+		workers:  make(chan struct{}, cfg.Workers),
+		sfCalls:  make(map[sfKey]*call),
+		strategy: strategy,
+	}
+	perShard := cfg.Capacity
+	if perShard > 0 {
+		perShard = (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	}
+	if perShard < 0 {
+		perShard = 0 // unbounded
+	}
+	for i := range s.shards {
+		s.shards[i].lru = cache.NewLRU[Key, cached](perShard)
+	}
+	return s
+}
+
+// Generation returns the current cache generation (bumped by every
+// invalidation).
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// lookup serves k from the cache if a current-generation entry exists.
+// Stale entries are deleted on sight.
+func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
+	sh := &s.shards[k.hash()&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.lru.Get(k)
+	if !ok {
+		return Result{}, false
+	}
+	if c.gen != gen {
+		sh.lru.Delete(k)
+		return Result{}, false
+	}
+	return Result{Path: c.path, Found: c.found}, true
+}
+
+// insert stores a computed result tagged with the generation it was
+// computed under.
+func (s *Server) insert(k Key, gen uint64, res Result) {
+	sh := &s.shards[k.hash()&s.mask]
+	sh.mu.Lock()
+	if sh.lru.Put(k, cached{gen: gen, path: res.Path, found: res.Found}) {
+		s.met.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Query answers one route request. Safe for concurrent use.
+func (s *Server) Query(req policy.Request) Result {
+	start := time.Now()
+	defer func() { s.met.latency.Observe(time.Since(start)) }()
+	s.met.queries.Add(1)
+
+	k := KeyOf(req)
+	gen := s.gen.Load()
+	if res, ok := s.lookup(k, gen); ok {
+		s.met.hits.Add(1)
+		if !res.Found {
+			s.met.failures.Add(1)
+		}
+		return res
+	}
+
+	res, leader := s.coalesce(sfKey{gen: gen, key: k}, req)
+	if leader {
+		s.met.misses.Add(1)
+	} else {
+		s.met.coalesced.Add(1)
+	}
+	if !res.Found {
+		s.met.failures.Add(1)
+	}
+	return res
+}
+
+// coalesce runs the synthesis for key at most once among concurrent
+// callers; every caller gets the same result. Reports whether this caller
+// was the leader (ran the computation).
+func (s *Server) coalesce(key sfKey, req policy.Request) (Result, bool) {
+	s.sfMu.Lock()
+	if c, ok := s.sfCalls[key]; ok {
+		s.sfMu.Unlock()
+		c.wg.Wait()
+		return c.res, false
+	}
+	c := &call{}
+	c.wg.Add(1)
+	s.sfCalls[key] = c
+	s.sfMu.Unlock()
+
+	c.res = s.compute(req)
+
+	s.sfMu.Lock()
+	delete(s.sfCalls, key)
+	s.sfMu.Unlock()
+	c.wg.Done()
+	return c.res, true
+}
+
+// compute runs one synthesis under a worker slot and the strategy lock,
+// then caches the result (negative results too — repeated queries for an
+// unroutable pair must not re-run the search) under the generation current
+// at computation time.
+func (s *Server) compute(req policy.Request) Result {
+	s.workers <- struct{}{}
+	defer func() { <-s.workers }()
+
+	s.stratMu.Lock()
+	gen := s.gen.Load() // the generation this computation's view belongs to
+	path, found := s.strategy.Route(req)
+	s.stratMu.Unlock()
+
+	res := Result{Path: path, Found: found}
+	s.insert(KeyOf(req), gen, res)
+	return res
+}
+
+// Invalidate reacts to a topology or policy change: it bumps the cache
+// generation (so every cached route is stale) and rebuilds the strategy.
+// In-flight computations finish against whichever state they observed and
+// are tagged accordingly; their results are never served across the bump.
+func (s *Server) Invalidate() {
+	s.Mutate(nil)
+}
+
+// Mutate applies fn — which may mutate the graph or policy database the
+// strategy synthesizes over — with exclusive access, then invalidates. Use
+// this for link failures and policy changes on a live server; queries that
+// hit the cache keep being served concurrently (from the pre-change
+// generation) until the bump lands.
+func (s *Server) Mutate(fn func()) {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	s.gen.Add(1)
+	s.strategy.Invalidate()
+	s.met.invalidations.Add(1)
+}
+
+// StrategyStats returns the wrapped strategy's cumulative instrumentation.
+func (s *Server) StrategyStats() synthesis.StrategyStats {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	return s.strategy.Stats()
+}
+
+// StrategyName names the wrapped strategy.
+func (s *Server) StrategyName() string { return s.strategy.Name() }
+
+// CacheLen returns the total number of live cache entries (stale entries
+// not yet lazily dropped included).
+func (s *Server) CacheLen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns a point-in-time copy of the server metrics.
+func (s *Server) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Queries:       s.met.queries.Load(),
+		Hits:          s.met.hits.Load(),
+		Misses:        s.met.misses.Load(),
+		Coalesced:     s.met.coalesced.Load(),
+		Failures:      s.met.failures.Load(),
+		Evictions:     s.met.evictions.Load(),
+		Invalidations: s.met.invalidations.Load(),
+		Latency:       s.met.latency.Snapshot(),
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/protocols/plaindv"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trafficgen"
 )
 
 // Scenario is the top-level declarative description.
@@ -173,7 +174,8 @@ type Event struct {
 	Terms []TermSpec `json:"terms,omitempty"`
 }
 
-// RequestSpec selects the traffic workload.
+// RequestSpec selects the traffic workload. Exactly one field should be
+// set.
 type RequestSpec struct {
 	// AllStubPairs evaluates every ordered stub pair.
 	AllStubPairs bool `json:"all_stub_pairs,omitempty"`
@@ -181,6 +183,10 @@ type RequestSpec struct {
 	AllPairs bool `json:"all_pairs,omitempty"`
 	// Explicit lists individual requests.
 	Explicit []RequestEntry `json:"explicit,omitempty"`
+	// Workload generates a synthetic request stream (uniform / Zipf /
+	// gravity) via internal/trafficgen — the route-server serving
+	// workloads use this.
+	Workload *trafficgen.Config `json:"workload,omitempty"`
 }
 
 // RequestEntry is one explicit traffic request.
@@ -203,8 +209,11 @@ func Load(r io.Reader) (*Scenario, error) {
 	return &sc, nil
 }
 
-// build materializes the scenario's graph, policy, protocol, and workload.
-func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Request, error) {
+// Materialize builds the scenario's graph, policy database, and traffic
+// workload without constructing a protocol system. The route-server CLI
+// (cmd/routed) serves queries straight off this state, applying the
+// scenario's events as churn.
+func (sc *Scenario) Materialize() (*ad.Graph, *policy.DB, []policy.Request, error) {
 	var g *ad.Graph
 	switch {
 	case sc.Topology.Figure1:
@@ -212,7 +221,7 @@ func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Reques
 	case sc.Topology.Generate != nil:
 		g = topology.Generate(*sc.Topology.Generate).Graph
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("scenario: topology must set figure1 or generate")
+		return nil, nil, nil, fmt.Errorf("scenario: topology must set figure1 or generate")
 	}
 
 	var db *policy.DB
@@ -227,7 +236,46 @@ func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Reques
 			db.Add(ts.toTerm())
 		}
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("scenario: policy must set open, generate, or terms")
+		return nil, nil, nil, fmt.Errorf("scenario: policy must set open, generate, or terms")
+	}
+
+	var reqs []policy.Request
+	switch {
+	case sc.Requests.AllStubPairs:
+		reqs = core.AllPairsRequests(g, true, 0, 0)
+	case sc.Requests.AllPairs:
+		reqs = core.AllPairsRequests(g, false, 0, 0)
+	case len(sc.Requests.Explicit) > 0:
+		for _, e := range sc.Requests.Explicit {
+			reqs = append(reqs, policy.Request{
+				Src: ad.ID(e.Src), Dst: ad.ID(e.Dst),
+				QOS: policy.QOS(e.QOS), UCI: policy.UCI(e.UCI), Hour: e.Hour,
+			})
+		}
+	case sc.Requests.Workload != nil:
+		reqs = trafficgen.Generate(g, *sc.Requests.Workload)
+		if len(reqs) == 0 {
+			return nil, nil, nil, fmt.Errorf("scenario: workload generated no requests")
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("scenario: requests must set all_stub_pairs, all_pairs, explicit, or workload")
+	}
+	return g, db, reqs, nil
+}
+
+// Validate checks that the scenario is well-formed — topology, policy, and
+// workload materialize, the protocol is known, and every event action is
+// recognized — without running any simulation phases.
+func (sc *Scenario) Validate() error {
+	_, _, _, _, err := sc.build()
+	return err
+}
+
+// build materializes the scenario's graph, policy, protocol, and workload.
+func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Request, error) {
+	g, db, reqs, err := sc.Materialize()
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 
 	p := sc.Protocol
@@ -265,23 +313,75 @@ func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Reques
 		return nil, nil, nil, nil, fmt.Errorf("scenario: unknown protocol %q", p.Name)
 	}
 
-	var reqs []policy.Request
-	switch {
-	case sc.Requests.AllStubPairs:
-		reqs = core.AllPairsRequests(g, true, 0, 0)
-	case sc.Requests.AllPairs:
-		reqs = core.AllPairsRequests(g, false, 0, 0)
-	case len(sc.Requests.Explicit) > 0:
-		for _, e := range sc.Requests.Explicit {
-			reqs = append(reqs, policy.Request{
-				Src: ad.ID(e.Src), Dst: ad.ID(e.Dst),
-				QOS: policy.QOS(e.QOS), UCI: policy.UCI(e.UCI), Hour: e.Hour,
-			})
-		}
-	default:
-		return nil, nil, nil, nil, fmt.Errorf("scenario: requests must set all_stub_pairs, all_pairs, or explicit")
+	if _, err := sc.Mutations(g, db); err != nil {
+		return nil, nil, nil, nil, err
 	}
 	return g, db, sys, reqs, nil
+}
+
+// Mutation is one compiled scenario event: Apply performs it against the
+// materialized graph and policy database.
+type Mutation struct {
+	Label string
+	Apply func()
+}
+
+// Mutations compiles the scenario's events into graph/policy closures, for
+// route-serving front ends (cmd/routed) that replay events as churn through
+// routeserver.Server.Mutate rather than through a protocol simulation. Link
+// metadata is resolved against the pristine graph up front, so a "restore"
+// re-adds the exact link an earlier "fail" removed. It also validates the
+// event list; Validate relies on this.
+func (sc *Scenario) Mutations(g *ad.Graph, db *policy.DB) ([]Mutation, error) {
+	out := make([]Mutation, 0, len(sc.Events))
+	for i, ev := range sc.Events {
+		switch ev.Action {
+		case "fail", "restore":
+			a, b := ad.ID(ev.A), ad.ID(ev.B)
+			link, ok := findLink(g, a, b)
+			if !ok {
+				return nil, fmt.Errorf("scenario: event %d: no link %v-%v", i+1, a, b)
+			}
+			if ev.Action == "fail" {
+				out = append(out, Mutation{
+					Label: fmt.Sprintf("fail %v-%v", a, b),
+					Apply: func() { g.RemoveLink(a, b) },
+				})
+			} else {
+				out = append(out, Mutation{
+					Label: fmt.Sprintf("restore %v-%v", a, b),
+					Apply: func() { _ = g.AddLink(link) },
+				})
+			}
+		case "update-policy":
+			id := ad.ID(ev.AD)
+			if _, ok := g.AD(id); !ok {
+				return nil, fmt.Errorf("scenario: event %d: unknown AD %v", i+1, id)
+			}
+			terms := make([]policy.Term, len(ev.Terms))
+			for j, ts := range ev.Terms {
+				terms[j] = ts.toTerm()
+			}
+			out = append(out, Mutation{
+				Label: fmt.Sprintf("update-policy %v", id),
+				Apply: func() { db.SetTerms(id, terms) },
+			})
+		default:
+			return nil, fmt.Errorf("scenario: event %d: unknown action %q", i+1, ev.Action)
+		}
+	}
+	return out, nil
+}
+
+// findLink returns the graph's link between a and b, if present.
+func findLink(g *ad.Graph, a, b ad.ID) (ad.Link, bool) {
+	for _, l := range g.Links() {
+		want := ad.Link{A: a, B: b}.Canonical()
+		if l.A == want.A && l.B == want.B {
+			return l, true
+		}
+	}
+	return ad.Link{}, false
 }
 
 // Run executes the scenario and writes a phased report to w.

@@ -2,6 +2,7 @@ package synthesis
 
 import (
 	"repro/internal/ad"
+	"repro/internal/cache"
 	"repro/internal/policy"
 )
 
@@ -19,6 +20,17 @@ type StrategyStats struct {
 	Failures int
 	// CacheEntries is the current size of the route table.
 	CacheEntries int
+	// Evictions counts demand-fill entries dropped for capacity.
+	Evictions int
+}
+
+// carryForward returns the stats to start from after a table rebuild: every
+// cumulative counter survives; CacheEntries is per-table state and resets
+// until the next Stats call recomputes it. All strategies share this
+// semantics, asserted by TestInvalidatePreservesStats.
+func carryForward(prev StrategyStats) StrategyStats {
+	prev.CacheEntries = 0
+	return prev
 }
 
 // Strategy is a route synthesis strategy: given a traffic request, produce a
@@ -67,7 +79,7 @@ func (s *OnDemand) Route(req policy.Request) (ad.Path, bool) {
 func (s *OnDemand) Stats() StrategyStats { return s.stats }
 
 // Invalidate implements Strategy (no cached state).
-func (s *OnDemand) Invalidate() {}
+func (s *OnDemand) Invalidate() { s.stats = carryForward(s.stats) }
 
 // cacheKey identifies a precomputed route. Hour is quantized out: routes
 // are recomputed only when term windows change legality, which the
@@ -136,10 +148,37 @@ func (s *Precomputed) Stats() StrategyStats {
 
 // Invalidate rebuilds the whole table, charging precompute work again.
 func (s *Precomputed) Invalidate() {
-	prevHits, prevMisses, prevFail := s.stats.Hits, s.stats.Misses, s.stats.Failures
-	prevPre := s.stats.PrecomputeExpansions
-	s.stats = StrategyStats{Hits: prevHits, Misses: prevMisses, Failures: prevFail, PrecomputeExpansions: prevPre}
+	s.stats = carryForward(s.stats)
 	s.build()
+}
+
+// PrunedConfig parameterizes the pruned-precompute strategy.
+type PrunedConfig struct {
+	// HopRadius bounds the precomputed neighbourhood (< 1 means 2).
+	HopRadius int
+	// QOSClasses / UCIClasses are the traffic class counts to precompute
+	// over: the table is built for every (qos, uci) in
+	// [0,QOSClasses) x [0,UCIClasses). Values < 1 mean class 0 only. The
+	// cache key includes both classes, so a strategy precomputed for class
+	// 0 only can never serve a class-1 request from its table.
+	QOSClasses int
+	UCIClasses int
+	// DemandCap bounds the demand-fill cache for requests outside the
+	// precomputed neighbourhood (0 = unbounded).
+	DemandCap int
+}
+
+func (c PrunedConfig) normalize() PrunedConfig {
+	if c.HopRadius < 1 {
+		c.HopRadius = 2
+	}
+	if c.QOSClasses < 1 {
+		c.QOSClasses = 1
+	}
+	if c.UCIClasses < 1 {
+		c.UCIClasses = 1
+	}
+	return c
 }
 
 // Pruned is a heuristic precomputation strategy in the direction the paper
@@ -147,24 +186,33 @@ func (s *Precomputed) Invalidate() {
 // limit it to commonly used routes", §5.4.1): for each source it precomputes
 // routes only to destinations within HopRadius AD hops, on the observation
 // that inter-AD traffic is dominated by nearby destinations; everything
-// farther is computed on demand and cached.
+// farther is computed on demand and cached (bounded by DemandCap).
 type Pruned struct {
-	g     *ad.Graph
-	db    *policy.DB
-	srcs  []ad.ID
-	class func(policy.Request) bool
-	// HopRadius bounds the precomputed neighbourhood.
+	g    *ad.Graph
+	db   *policy.DB
+	srcs []ad.ID
+	cfg  PrunedConfig
+	// HopRadius mirrors cfg.HopRadius for report labelling.
 	HopRadius int
 	table     map[cacheKey]ad.Path
+	demand    *cache.LRU[cacheKey, ad.Path]
 	stats     StrategyStats
 }
 
-// NewPruned builds the pruned-precompute strategy for the given sources.
+// NewPruned builds the pruned-precompute strategy for the given sources with
+// default traffic classes (class 0 only) and an unbounded demand cache.
 func NewPruned(g *ad.Graph, db *policy.DB, srcs []ad.ID, hopRadius int) *Pruned {
-	if hopRadius < 1 {
-		hopRadius = 2
+	return NewPrunedConfig(g, db, srcs, PrunedConfig{HopRadius: hopRadius})
+}
+
+// NewPrunedConfig builds the pruned-precompute strategy with explicit
+// neighbourhood, traffic-class, and demand-cache configuration.
+func NewPrunedConfig(g *ad.Graph, db *policy.DB, srcs []ad.ID, cfg PrunedConfig) *Pruned {
+	cfg = cfg.normalize()
+	s := &Pruned{
+		g: g, db: db, srcs: srcs, cfg: cfg, HopRadius: cfg.HopRadius,
+		demand: cache.NewLRU[cacheKey, ad.Path](cfg.DemandCap),
 	}
-	s := &Pruned{g: g, db: db, srcs: srcs, HopRadius: hopRadius}
 	s.build()
 	return s
 }
@@ -196,16 +244,23 @@ func (s *Pruned) withinRadius(src ad.ID, r int) []ad.ID {
 func (s *Pruned) build() {
 	s.table = make(map[cacheKey]ad.Path)
 	for _, src := range s.srcs {
-		for _, dst := range s.withinRadius(src, s.HopRadius) {
-			req := policy.Request{Src: src, Dst: dst, Hour: 12}
-			res := FindRoute(s.g, s.db, req)
-			s.stats.PrecomputeExpansions += res.Expanded
-			if res.Found {
-				s.table[keyOf(req)] = res.Path
+		for _, dst := range s.withinRadius(src, s.cfg.HopRadius) {
+			for qos := 0; qos < s.cfg.QOSClasses; qos++ {
+				for uci := 0; uci < s.cfg.UCIClasses; uci++ {
+					req := policy.Request{
+						Src: src, Dst: dst, Hour: 12,
+						QOS: policy.QOS(qos), UCI: policy.UCI(uci),
+					}
+					res := FindRoute(s.g, s.db, req)
+					s.stats.PrecomputeExpansions += res.Expanded
+					if res.Found {
+						s.table[keyOf(req)] = res.Path
+					}
+				}
 			}
 		}
 	}
-	s.stats.CacheEntries = len(s.table)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
 }
 
 // Name implements Strategy.
@@ -213,7 +268,12 @@ func (s *Pruned) Name() string { return "pruned" }
 
 // Route implements Strategy.
 func (s *Pruned) Route(req policy.Request) (ad.Path, bool) {
-	if p, ok := s.table[keyOf(req)]; ok {
+	k := keyOf(req)
+	if p, ok := s.table[k]; ok {
+		s.stats.Hits++
+		return p, true
+	}
+	if p, ok := s.demand.Get(k); ok {
 		s.stats.Hits++
 		return p, true
 	}
@@ -224,39 +284,49 @@ func (s *Pruned) Route(req policy.Request) (ad.Path, bool) {
 		s.stats.Failures++
 		return nil, false
 	}
-	s.table[keyOf(req)] = res.Path
+	s.demand.Put(k, res.Path)
 	return res.Path, true
 }
 
 // Stats implements Strategy.
 func (s *Pruned) Stats() StrategyStats {
-	s.stats.CacheEntries = len(s.table)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+	s.stats.Evictions = s.demand.Evictions()
 	return s.stats
 }
 
-// Invalidate rebuilds the neighbourhood tables.
+// Invalidate rebuilds the neighbourhood tables and drops demand fills.
 func (s *Pruned) Invalidate() {
-	prev := s.stats
-	s.stats = StrategyStats{Hits: prev.Hits, Misses: prev.Misses, Failures: prev.Failures,
-		PrecomputeExpansions: prev.PrecomputeExpansions, OnDemandExpansions: prev.OnDemandExpansions}
+	s.stats = carryForward(s.stats)
+	s.demand.Purge()
 	s.build()
 }
 
 // Hybrid precomputes routes for a hot set of requests and falls back to
-// on-demand computation (with caching) for the rest — the combination the
-// paper recommends (§5.4.1: "a combination of precomputation and on-demand
-// computation should be used").
+// on-demand computation (with caching, bounded by the demand cap) for the
+// rest — the combination the paper recommends (§5.4.1: "a combination of
+// precomputation and on-demand computation should be used").
 type Hybrid struct {
-	g     *ad.Graph
-	db    *policy.DB
-	hot   []policy.Request
-	table map[cacheKey]ad.Path
-	stats StrategyStats
+	g      *ad.Graph
+	db     *policy.DB
+	hot    []policy.Request
+	table  map[cacheKey]ad.Path
+	demand *cache.LRU[cacheKey, ad.Path]
+	stats  StrategyStats
 }
 
-// NewHybrid builds the hot-set table and returns the strategy.
+// NewHybrid builds the hot-set table with an unbounded demand cache.
 func NewHybrid(g *ad.Graph, db *policy.DB, hot []policy.Request) *Hybrid {
-	s := &Hybrid{g: g, db: db, hot: hot}
+	return NewHybridCapped(g, db, hot, 0)
+}
+
+// NewHybridCapped builds the hot-set table with the demand-fill cache
+// bounded to demandCap entries (0 = unbounded). Under streaming workloads
+// the demand map otherwise grows without bound; evictions are reported in
+// StrategyStats.
+func NewHybridCapped(g *ad.Graph, db *policy.DB, hot []policy.Request, demandCap int) *Hybrid {
+	s := &Hybrid{g: g, db: db, hot: hot,
+		demand: cache.NewLRU[cacheKey, ad.Path](demandCap)}
 	s.build()
 	return s
 }
@@ -270,7 +340,7 @@ func (s *Hybrid) build() {
 			s.table[keyOf(req)] = res.Path
 		}
 	}
-	s.stats.CacheEntries = len(s.table)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
 }
 
 // Name implements Strategy.
@@ -278,7 +348,12 @@ func (s *Hybrid) Name() string { return "hybrid" }
 
 // Route implements Strategy.
 func (s *Hybrid) Route(req policy.Request) (ad.Path, bool) {
-	if p, ok := s.table[keyOf(req)]; ok {
+	k := keyOf(req)
+	if p, ok := s.table[k]; ok {
+		s.stats.Hits++
+		return p, true
+	}
+	if p, ok := s.demand.Get(k); ok {
 		s.stats.Hits++
 		return p, true
 	}
@@ -289,21 +364,21 @@ func (s *Hybrid) Route(req policy.Request) (ad.Path, bool) {
 		s.stats.Failures++
 		return nil, false
 	}
-	// Demand-filled entries serve later requests from the table.
-	s.table[keyOf(req)] = res.Path
+	// Demand-filled entries serve later requests from the cache.
+	s.demand.Put(k, res.Path)
 	return res.Path, true
 }
 
 // Stats implements Strategy.
 func (s *Hybrid) Stats() StrategyStats {
-	s.stats.CacheEntries = len(s.table)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+	s.stats.Evictions = s.demand.Evictions()
 	return s.stats
 }
 
 // Invalidate drops demand-filled entries and rebuilds the hot set.
 func (s *Hybrid) Invalidate() {
-	prev := s.stats
-	s.stats = StrategyStats{Hits: prev.Hits, Misses: prev.Misses, Failures: prev.Failures,
-		PrecomputeExpansions: prev.PrecomputeExpansions, OnDemandExpansions: prev.OnDemandExpansions}
+	s.stats = carryForward(s.stats)
+	s.demand.Purge()
 	s.build()
 }

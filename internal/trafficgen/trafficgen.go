@@ -14,25 +14,26 @@ import (
 	"repro/internal/policy"
 )
 
-// Config parameterizes a workload.
+// Config parameterizes a workload. The JSON form is used by scenario files
+// (scenario.RequestSpec.Workload).
 type Config struct {
 	// Seed fixes the generator.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Requests is the workload length.
-	Requests int
+	Requests int `json:"requests,omitempty"`
 	// StubsOnly restricts sources and destinations to stub ADs.
-	StubsOnly bool
+	StubsOnly bool `json:"stubs_only,omitempty"`
 	// Model selects the pair distribution: "uniform", "zipf", "gravity".
-	Model string
+	Model string `json:"model,omitempty"`
 	// ZipfS is the Zipf exponent (>1); larger = more skew. Default 1.2.
-	ZipfS float64
+	ZipfS float64 `json:"zipf_s,omitempty"`
 	// QOSClasses / UCIClasses spread requests over service and user
 	// classes (uniformly); zero means class 0 only.
-	QOSClasses int
-	UCIClasses int
+	QOSClasses int `json:"qos_classes,omitempty"`
+	UCIClasses int `json:"uci_classes,omitempty"`
 	// HourSpread draws request hours uniformly from [0,24) instead of
 	// fixing noon.
-	HourSpread bool
+	HourSpread bool `json:"hour_spread,omitempty"`
 }
 
 // Normalize fills defaults.
