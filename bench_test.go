@@ -163,6 +163,12 @@ func BenchmarkE19MultihomedStubs(b *testing.B) {
 	}
 }
 
+func BenchmarkE21StateLifecycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(experiments.E21StateLifecycles(benchSeed).Rows)
+	}
+}
+
 // BenchmarkE20RouteServer compares the caching/coalescing route server
 // against naive per-request synthesis on a Zipf-skewed workload, then
 // emits the measurements as BENCH_routeserver.json (machine-readable;

@@ -1,11 +1,11 @@
 // Command experiments regenerates every table and figure of the
 // reproduction: the Table 1 design-space comparison, the Figure 1 topology
-// validation, and experiments E1–E20 (see DESIGN.md for the index and
+// validation, and experiments E1–E21 (see DESIGN.md for the index and
 // EXPERIMENTS.md for recorded results).
 //
 // Usage:
 //
-//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e20]
+//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e21]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "experiment seed (all results are deterministic in it)")
-	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e20")
+	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e21")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent experiment workers (1 = serial; output is identical either way)")
 	flag.Parse()
@@ -49,12 +49,13 @@ func main() {
 		"e18":     experiments.E18PathStretch,
 		"e19":     experiments.E19MultihomedStubs,
 		"e20":     experiments.E20RouteServer,
+		"e21":     experiments.E21StateLifecycles,
 	}
 
 	if *only != "" {
 		run, ok := runners[strings.ToLower(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e20\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e21\n", *only)
 			os.Exit(2)
 		}
 		if err := run(*seed).Render(os.Stdout); err != nil {

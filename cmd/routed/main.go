@@ -6,7 +6,11 @@
 //
 //   - Line mode (default): reads queries from stdin, one per line
 //     ("SRC DST [QOS UCI HOUR]"), answers each, and accepts the commands
-//     "fail A B", "restore A B", "policy AD COST", "stats", and "quit".
+//     "fail A B", "restore A B", "policy AD COST", "stats", and "quit",
+//     plus the data-plane commands "install SRC DST [QOS UCI HOUR]",
+//     "send HANDLE", "refresh", "tick SECONDS", "repair", and "state".
+//     Served routes are installed as per-PG handle state whose lifecycle
+//     (-state hard|soft|capped, -state-ttl, -state-cap) follows §6.
 //
 //   - Load mode (-load): replays a synthetic workload (uniform / Zipf /
 //     gravity) from -clients concurrent goroutines, optionally injecting
@@ -22,7 +26,8 @@
 //	routed [-strategy on-demand|precomputed|hybrid|pruned] [-load] \
 //	       [-scenario file.json] [-seed N] [-requests N] [-model zipf] \
 //	       [-clients N] [-churn] [-cache N] [-shards N] [-workers N] \
-//	       [-qos N] [-uci N] [-bench-json file]
+//	       [-qos N] [-uci N] [-bench-json file] \
+//	       [-state hard|soft|capped] [-state-ttl dur] [-state-cap N]
 package main
 
 import (
@@ -30,15 +35,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/core"
+	"repro/internal/pgstate"
 	"repro/internal/policy"
 	"repro/internal/routeserver"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/topology"
 	"repro/internal/trafficgen"
@@ -61,6 +70,9 @@ func main() {
 		uciClasses   = flag.Int("uci", 2, "UCI classes in the workload and precomputation")
 		churn        = flag.Bool("churn", false, "load mode: fail a lateral link at 40% and restore it at 70% of the run")
 		benchJSON    = flag.String("bench-json", "", "load mode: also write the report as JSON to this file")
+		stateKind    = flag.String("state", "hard", "PG handle lifecycle for installed routes: hard, soft, capped")
+		stateTTL     = flag.Duration("state-ttl", 30*time.Second, "soft-state TTL in simulated time (-state soft)")
+		stateCap     = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
 	)
 	flag.Parse()
 
@@ -75,6 +87,16 @@ func main() {
 		Capacity: *cacheCap,
 		Workers:  *workers,
 	})
+
+	dp, err := routeserver.NewDataPlane(pgstate.Config{
+		Kind:     pgstate.Kind(*stateKind),
+		TTL:      sim.Time(stateTTL.Microseconds()),
+		Capacity: *stateCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *load {
 		if *churn {
@@ -91,7 +113,7 @@ func main() {
 		return
 	}
 
-	serve(os.Stdin, os.Stdout, srv, g, db)
+	serve(os.Stdin, os.Stdout, srv, dp, g, db)
 }
 
 // materialize builds the internet and workload, either from a scenario file
@@ -219,7 +241,7 @@ func churnEvents(g *ad.Graph) []routeserver.Event {
 }
 
 // printReport renders a load-mode serving report.
-func printReport(w *os.File, srv *routeserver.Server, rep routeserver.Report) {
+func printReport(w io.Writer, srv *routeserver.Server, rep routeserver.Report) {
 	m := rep.Metrics
 	fmt.Fprintf(w, "strategy    %s\n", srv.StrategyName())
 	fmt.Fprintf(w, "requests    %d (%d served, %d no-route)\n", rep.Requests, rep.Served, rep.NoRoute)
@@ -259,82 +281,153 @@ func writeJSON(path string, srv *routeserver.Server, rep routeserver.Report) err
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// serve runs line mode: one query or command per stdin line.
-func serve(in *os.File, out *os.File, srv *routeserver.Server, g *ad.Graph, db *policy.DB) {
+// serve runs line mode: one query or command per stdin line. It is
+// factored over io.Reader/io.Writer so tests can script a full session.
+func serve(in io.Reader, out io.Writer, srv *routeserver.Server, dp *routeserver.DataPlane, g *ad.Graph, db *policy.DB) {
 	// Links removed by "fail" are remembered so "restore" can re-add them
 	// with their original class and cost.
 	removed := map[[2]ad.ID]ad.Link{}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "quit", "exit":
+		if !serveLine(sc.Text(), out, srv, dp, g, db, removed) {
 			return
-		case "stats":
-			m := srv.Snapshot()
-			fmt.Fprintf(out, "gen %d: %d queries, %d hits, %d coalesced, %d misses, %d failures, %d cached\n",
-				srv.Generation(), m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, srv.CacheLen())
-		case "fail", "restore":
-			a, b, ok := twoIDs(fields[1:])
-			if !ok {
-				fmt.Fprintf(out, "usage: %s A B\n", fields[0])
-				continue
-			}
-			if fields[0] == "fail" {
-				link, found := linkOf(g, a, b)
-				if !found {
-					fmt.Fprintf(out, "no link %v-%v\n", a, b)
-					continue
-				}
-				removed[[2]ad.ID{link.A, link.B}] = link
-				srv.Mutate(func() { g.RemoveLink(a, b) })
-			} else {
-				key := ad.Link{A: a, B: b}.Canonical()
-				link, found := removed[[2]ad.ID{key.A, key.B}]
-				if !found {
-					fmt.Fprintf(out, "link %v-%v was not failed here\n", a, b)
-					continue
-				}
-				delete(removed, [2]ad.ID{key.A, key.B})
-				srv.Mutate(func() { _ = g.AddLink(link) })
-			}
-			fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
-		case "policy":
-			// policy AD COST: replace the AD's terms with one open term.
-			a, c, ok := twoIDs(fields[1:])
-			if !ok {
-				fmt.Fprintln(out, "usage: policy AD COST")
-				continue
-			}
-			term := policy.OpenTerm(a, 0)
-			term.Cost = uint32(c)
-			srv.Mutate(func() { db.SetTerms(a, []policy.Term{term}) })
-			fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
-		default:
-			req, err := parseQuery(fields)
-			if err != nil {
-				fmt.Fprintln(out, err)
-				continue
-			}
-			res := srv.Query(req)
-			if res.Found {
-				fmt.Fprintf(out, "%v\n", res.Path)
-			} else {
-				fmt.Fprintf(out, "no-route %v\n", req)
-			}
 		}
 	}
+}
+
+// serveLine executes one line-mode command, reporting whether the session
+// continues.
+func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeserver.DataPlane,
+	g *ad.Graph, db *policy.DB, removed map[[2]ad.ID]ad.Link) bool {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return true
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "quit", "exit":
+		return false
+	case "stats":
+		m := srv.Snapshot()
+		fmt.Fprintf(out, "gen %d: %d queries, %d hits, %d coalesced, %d misses, %d failures, %d cached\n",
+			srv.Generation(), m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, srv.CacheLen())
+	case "fail", "restore":
+		a, b, ok := twoIDs(fields[1:])
+		if !ok {
+			fmt.Fprintf(out, "usage: %s A B\n", fields[0])
+			return true
+		}
+		if fields[0] == "fail" {
+			link, found := linkOf(g, a, b)
+			if !found {
+				fmt.Fprintf(out, "no link %v-%v\n", a, b)
+				return true
+			}
+			removed[[2]ad.ID{link.A, link.B}] = link
+			srv.Mutate(func() { g.RemoveLink(a, b) })
+			// Failure-driven repair: flush installed handle state that
+			// crossed the dead link and queue its flows for "repair".
+			if flushed := dp.InvalidateLink(a, b); flushed > 0 {
+				fmt.Fprintf(out, "flushed %d handle entries\n", flushed)
+			}
+		} else {
+			key := ad.Link{A: a, B: b}.Canonical()
+			link, found := removed[[2]ad.ID{key.A, key.B}]
+			if !found {
+				fmt.Fprintf(out, "link %v-%v was not failed here\n", a, b)
+				return true
+			}
+			delete(removed, [2]ad.ID{key.A, key.B})
+			srv.Mutate(func() { _ = g.AddLink(link) })
+		}
+		fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+	case "policy":
+		// policy AD COST: replace the AD's terms with one open term.
+		a, c, ok := twoIDs(fields[1:])
+		if !ok {
+			fmt.Fprintln(out, "usage: policy AD COST")
+			return true
+		}
+		term := policy.OpenTerm(a, 0)
+		term.Cost = uint32(c)
+		srv.Mutate(func() { db.SetTerms(a, []policy.Term{term}) })
+		fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+	case "install":
+		// install SRC DST [QOS UCI HOUR]: serve a route and install it as
+		// PG handle state so data can flow over it.
+		req, err := parseQuery(fields[1:])
+		if err != nil {
+			fmt.Fprintln(out, "usage: install SRC DST [QOS UCI HOUR]")
+			return true
+		}
+		res := srv.Query(req)
+		if !res.Found {
+			fmt.Fprintf(out, "no-route %v\n", req)
+			return true
+		}
+		h := dp.Install(req, res.Path)
+		fmt.Fprintf(out, "handle %d via %v\n", h, res.Path)
+	case "send":
+		// send HANDLE: forward one data packet over installed state.
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: send HANDLE")
+			return true
+		}
+		h, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(out, "bad handle %q\n", fields[1])
+			return true
+		}
+		switch r := dp.Send(h); {
+		case r.Delivered:
+			fmt.Fprintln(out, "delivered")
+		case r.MissAt != 0:
+			fmt.Fprintf(out, "no-state at %v (flow queued for repair)\n", r.MissAt)
+		default:
+			fmt.Fprintf(out, "unknown handle %d\n", h)
+		}
+	case "refresh":
+		refreshed, failed := dp.RefreshAll()
+		fmt.Fprintf(out, "refreshed %d flows, %d lost state\n", refreshed, failed)
+	case "tick":
+		// tick SECONDS: advance the data plane's soft-state clock.
+		secs := int64(1)
+		if len(fields) > 1 {
+			v, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil || v <= 0 {
+				fmt.Fprintln(out, "usage: tick SECONDS")
+				return true
+			}
+			secs = v
+		}
+		expired := dp.Tick(sim.Time(secs) * sim.Second)
+		fmt.Fprintf(out, "t=%ds, %d entries expired\n", int64(dp.Now()/sim.Second), expired)
+	case "repair":
+		attempted, repaired := dp.Repair(srv)
+		fmt.Fprintf(out, "repaired %d/%d flows\n", repaired, attempted)
+	case "state":
+		fmt.Fprintln(out, dp.Metrics())
+	default:
+		req, err := parseQuery(fields)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return true
+		}
+		res := srv.Query(req)
+		if res.Found {
+			fmt.Fprintf(out, "%v\n", res.Path)
+		} else {
+			fmt.Fprintf(out, "no-route %v\n", req)
+		}
+	}
+	return true
 }
 
 // parseQuery parses "SRC DST [QOS UCI HOUR]".
 func parseQuery(fields []string) (policy.Request, error) {
 	var req policy.Request
 	if len(fields) < 2 || len(fields) > 5 {
-		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, stats, quit")
+		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, stats, install, send, refresh, tick, repair, state, quit")
 	}
 	vals := make([]uint64, len(fields))
 	for i, f := range fields {

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/pgstate"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/sim"
+	"repro/internal/synthesis"
+)
+
+func testWorld(t *testing.T) (*ad.Graph, *policy.DB, *routeserver.Server, *routeserver.DataPlane) {
+	t.Helper()
+	g := ad.NewGraph()
+	src := g.AddAD("src", ad.Stub, ad.Campus)
+	t1 := g.AddAD("t1", ad.Transit, ad.Regional)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	dst := g.AddAD("dst", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: src, B: t1, Cost: 1}, {A: t1, B: dst, Cost: 1},
+		{A: src, B: t2, Cost: 5}, {A: t2, B: dst, Cost: 5},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.OpenDB(g)
+	srv := routeserver.New(synthesis.NewOnDemand(g, db), routeserver.Config{})
+	dp, err := routeserver.NewDataPlane(pgstate.Config{Kind: pgstate.Soft, TTL: 30 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, db, srv, dp
+}
+
+// session scripts a full line-mode conversation and returns the output.
+func session(t *testing.T, input string) string {
+	t.Helper()
+	g, db, srv, dp := testWorld(t)
+	var out strings.Builder
+	serve(strings.NewReader(input), &out, srv, dp, g, db)
+	return out.String()
+}
+
+func TestServeQueryAndCommands(t *testing.T) {
+	out := session(t, `
+# comment lines and blanks are skipped
+
+1 4
+99 98
+stats
+bogus one
+quit
+1 4
+`)
+	if !strings.Contains(out, "AD1>AD2>AD4") {
+		t.Errorf("query did not serve the cheap route:\n%s", out)
+	}
+	if !strings.Contains(out, "no-route") {
+		t.Errorf("unroutable pair not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "gen 0: 2 queries") {
+		t.Errorf("stats line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "bad number") {
+		t.Errorf("bad query not rejected:\n%s", out)
+	}
+	// quit stops the session: the trailing query is never answered.
+	if strings.Count(out, "AD1>AD2>AD4") != 1 {
+		t.Errorf("session did not stop at quit:\n%s", out)
+	}
+}
+
+func TestServeFailRestoreReroutes(t *testing.T) {
+	out := session(t, `
+1 4
+fail 2 4
+1 4
+restore 2 4
+1 4
+fail 9 9
+restore 9 9
+fail x y
+`)
+	// Route before failure, detour during, original after restore.
+	if strings.Count(out, "AD1>AD2>AD4") != 2 || !strings.Contains(out, "AD1>AD3>AD4") {
+		t.Errorf("fail/restore did not reroute:\n%s", out)
+	}
+	if !strings.Contains(out, "no link") {
+		t.Errorf("failing a nonexistent link not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "was not failed here") {
+		t.Errorf("restoring an unfailed link not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: fail") {
+		t.Errorf("bad fail args not reported:\n%s", out)
+	}
+}
+
+func TestServePolicyCommand(t *testing.T) {
+	// Making t1 expensive flips the served route to t2.
+	out := session(t, `
+1 4
+policy 2 100
+1 4
+policy
+`)
+	if !strings.Contains(out, "AD1>AD2>AD4") || !strings.Contains(out, "AD1>AD3>AD4") {
+		t.Errorf("policy change did not reroute:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: policy") {
+		t.Errorf("bad policy args not reported:\n%s", out)
+	}
+}
+
+func TestServeDataPlaneLifecycle(t *testing.T) {
+	out := session(t, `
+install 1 4
+send 1
+refresh
+tick 10
+send 1
+tick 100
+send 1
+state
+install 99 98
+send nope
+send 12345
+`)
+	checks := []string{
+		"handle 1 via AD1>AD2>AD4",
+		"delivered",
+		"refreshed 1 flows, 0 lost state",
+		"t=10s, 0 entries expired",
+		// 100s with no refresh: all three entries expire, flow abandoned.
+		"entries expired",
+		"unknown handle 1",
+		"flows 0",
+		"no-route",
+		"bad handle",
+		"unknown handle 12345",
+	}
+	for _, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeFailureRepairFlow(t *testing.T) {
+	out := session(t, `
+install 1 4
+fail 2 4
+send 1
+repair
+state
+`)
+	for _, want := range []string{
+		"handle 1 via AD1>AD2>AD4",
+		"flushed 3 handle entries",
+		"repaired 1/1 flows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	req, err := parseQuery([]string{"1", "2", "3", "4", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := policy.Request{Src: 1, Dst: 2, QOS: 3, UCI: 4, Hour: 5}
+	if req != want {
+		t.Errorf("parsed %+v, want %+v", req, want)
+	}
+	for _, bad := range [][]string{{"1"}, {"1", "2", "3", "4", "5", "6"}, {"1", "x"}} {
+		if _, err := parseQuery(bad); err == nil {
+			t.Errorf("parseQuery(%v) accepted", bad)
+		}
+	}
+}
+
+func TestTwoIDs(t *testing.T) {
+	if a, b, ok := twoIDs([]string{"3", "9"}); !ok || a != 3 || b != 9 {
+		t.Errorf("twoIDs = %v %v %v", a, b, ok)
+	}
+	for _, bad := range [][]string{{}, {"1"}, {"1", "2", "3"}, {"x", "2"}} {
+		if _, _, ok := twoIDs(bad); ok {
+			t.Errorf("twoIDs(%v) accepted", bad)
+		}
+	}
+}
+
+func TestChurnEventsPreferLateral(t *testing.T) {
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Transit, ad.Backbone)
+	b := g.AddAD("b", ad.Transit, ad.Regional)
+	c := g.AddAD("c", ad.Transit, ad.Regional)
+	if err := g.AddLink(ad.Link{A: a, B: b, Class: ad.Hierarchical}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(ad.Link{A: b, B: c, Class: ad.Lateral}); err != nil {
+		t.Fatal(err)
+	}
+	evs := churnEvents(g)
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if !strings.Contains(evs[0].Label, "AD2") || !strings.Contains(evs[0].Label, "AD3") {
+		t.Errorf("churn did not pick the lateral link: %q", evs[0].Label)
+	}
+	if churnEvents(ad.NewGraph()) != nil {
+		t.Error("empty graph produced churn events")
+	}
+}
+
+func TestPrintReportAndWriteJSON(t *testing.T) {
+	g, db, srv, _ := testWorld(t)
+	_ = g
+	_ = db
+	workload := []policy.Request{{Src: 1, Dst: 4}, {Src: 1, Dst: 4}, {Src: 4, Dst: 1}}
+	rep := routeserver.Run(srv, workload, routeserver.LoadConfig{Clients: 2})
+	var out strings.Builder
+	printReport(&out, srv, rep)
+	for _, want := range []string{"strategy", "requests    3", "cache", "latency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(path, srv, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["requests"] != float64(3) {
+		t.Errorf("json requests = %v", m["requests"])
+	}
+}
+
+func TestBuildStrategyKinds(t *testing.T) {
+	g, db, _, _ := testWorld(t)
+	workload := []policy.Request{{Src: 1, Dst: 4}}
+	for _, kind := range []string{"on-demand", "precomputed", "hybrid", "pruned"} {
+		st := buildStrategy(kind, g, db, workload, 1, 1)
+		if st == nil {
+			t.Fatalf("%s: nil strategy", kind)
+		}
+		if path, found := st.Route(policy.Request{Src: 1, Dst: 4}); !found || len(path) == 0 {
+			t.Errorf("%s: no route served", kind)
+		}
+	}
+}
+
+func TestLinkOf(t *testing.T) {
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: a, B: b, Cost: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Link lookup is order-insensitive: the graph stores the canonical form.
+	l, ok := linkOf(g, b, a)
+	if !ok || l.Cost != 3 {
+		t.Errorf("linkOf(b, a) = %+v %v", l, ok)
+	}
+	if _, ok := linkOf(g, a, 99); ok {
+		t.Error("linkOf found a nonexistent link")
+	}
+}

@@ -15,6 +15,10 @@ type LRU[K comparable, V any] struct {
 	head      *entry[K, V] // most recently used
 	tail      *entry[K, V] // least recently used
 	evictions int
+
+	// OnEvict, if non-nil, is invoked with each entry dropped for
+	// capacity (not for Delete or Purge), before Put returns.
+	OnEvict func(K, V)
 }
 
 type entry[K comparable, V any] struct {
@@ -102,6 +106,9 @@ func (l *LRU[K, V]) Put(k K, v V) (evicted bool) {
 		l.unlink(victim)
 		delete(l.entries, victim.key)
 		l.evictions++
+		if l.OnEvict != nil {
+			l.OnEvict(victim.key, victim.val)
+		}
 		return true
 	}
 	return false
@@ -123,6 +130,17 @@ func (l *LRU[K, V]) Delete(k K) bool {
 func (l *LRU[K, V]) Purge() {
 	l.entries = make(map[K]*entry[K, V])
 	l.head, l.tail = nil, nil
+}
+
+// Keys returns the live keys in recency order, most recently used first.
+// The order is deterministic: it reflects only the sequence of Put/Get
+// calls, never map iteration.
+func (l *LRU[K, V]) Keys() []K {
+	out := make([]K, 0, len(l.entries))
+	for e := l.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
 }
 
 // Len returns the number of live entries.

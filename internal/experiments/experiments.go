@@ -78,6 +78,7 @@ var independent = []func(int64) *metrics.Table{
 	E18PathStretch,
 	E19MultihomedStubs,
 	E20RouteServer,
+	E21StateLifecycles,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

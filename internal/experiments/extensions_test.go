@@ -235,3 +235,74 @@ func TestE20RouteServer(t *testing.T) {
 		}
 	}
 }
+
+func TestE21StateLifecycles(t *testing.T) {
+	tbl := E21StateLifecycles(seed)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 workloads x 3 disciplines)", len(tbl.Rows))
+	}
+	type key struct{ model, state string }
+	rows := map[key][]string{}
+	for _, row := range tbl.Rows {
+		// Every establishment must agree with the oracle, and every flow
+		// must establish under the open policy regime.
+		if row[11] != row[2] {
+			t.Errorf("%s/%s: oracle-ok %s of %s", row[0], row[1], row[11], row[2])
+		}
+		if row[3] != row[2] {
+			t.Errorf("%s/%s: only %s of %s flows established", row[0], row[1], row[3], row[2])
+		}
+		rows[key{row[0], row[1]}] = row
+	}
+	for _, model := range []string{"uniform", "zipf"} {
+		hard := rows[key{model, "hard"}]
+		soft := rows[key{model, "soft"}]
+		capped := rows[key{model, "capped"}]
+		// The §6 footprint claims: capped bounds peak state by
+		// construction, soft bounds it by the live flow set (the leaked
+		// wave-1 orphans expired), hard stacks both waves.
+		if p := parseFloat(t, capped[4]); p > 8 {
+			t.Errorf("%s: capped peak/PG %.0f exceeds capacity 8", model, p)
+		}
+		if parseFloat(t, capped[4]) >= parseFloat(t, hard[4]) {
+			t.Errorf("%s: capped peak %s not below hard peak %s", model, capped[4], hard[4])
+		}
+		if parseFloat(t, soft[4]) >= parseFloat(t, hard[4]) {
+			t.Errorf("%s: soft peak %s not below hard peak %s", model, soft[4], hard[4])
+		}
+		// Hard state leaks the abandoned orphans: more resident entries
+		// than soft at the measurement point.
+		if parseFloat(t, hard[5]) <= parseFloat(t, soft[5]) {
+			t.Errorf("%s: hard resident %s not above soft resident %s", model, hard[5], soft[5])
+		}
+		// The control-overhead side: only soft pays refresh bytes.
+		if parseFloat(t, soft[6]) == 0 {
+			t.Errorf("%s: soft sent no refresh bytes", model)
+		}
+		if hard[6] != "0" || capped[6] != "0" {
+			t.Errorf("%s: refresh bytes hard=%s capped=%s, want 0", model, hard[6], capped[6])
+		}
+		// The availability side: hard and refreshed soft deliver
+		// everything; capped drops evicted live flows until re-setup.
+		if parseFloat(t, hard[7]) != 1 || parseFloat(t, soft[7]) != 1 {
+			t.Errorf("%s: hard/soft availability %s/%s, want 1", model, hard[7], soft[7])
+		}
+		if parseFloat(t, capped[7]) >= parseFloat(t, hard[7]) {
+			t.Errorf("%s: capped availability %s not below hard %s", model, capped[7], hard[7])
+		}
+		// Failure-driven repair: the busiest-link failure queues flows
+		// under every discipline, capped queues strictly more (NAKs),
+		// and re-setup latency is observed whenever flows were repaired.
+		if parseFloat(t, hard[8]) == 0 {
+			t.Errorf("%s: link failure invalidated no hard-state flows", model)
+		}
+		if parseFloat(t, capped[8]) <= parseFloat(t, hard[8]) {
+			t.Errorf("%s: capped repair queue %s not above hard %s", model, capped[8], hard[8])
+		}
+		for _, row := range []([]string){hard, soft, capped} {
+			if parseFloat(t, row[9]) > 0 && parseFloat(t, row[10]) == 0 {
+				t.Errorf("%s/%s: %s repairs but no re-setup latency", model, row[1], row[9])
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package pgstate
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// The PG state operations sit on the simulated data plane's hot path:
+// every forwarded packet is a Lookup, every keepalive a Refresh, and every
+// setup an Install (with a possible eviction under Capped). These
+// benchmarks track their cost per discipline.
+
+func benchRoute() (ad.Path, policy.Request) {
+	return ad.Path{1, 2, 3, 4, 5}, policy.Request{Src: 1, Dst: 5}
+}
+
+func BenchmarkInstallHard(b *testing.B)   { benchInstall(b, Config{Kind: Hard}) }
+func BenchmarkInstallSoft(b *testing.B)   { benchInstall(b, Config{Kind: Soft}) }
+func BenchmarkInstallCapped(b *testing.B) { benchInstall(b, Config{Kind: Capped, Capacity: 256}) }
+
+// benchInstall measures steady-state install cost; under Capped every
+// install past the 256th also evicts.
+func benchInstall(b *testing.B, cfg Config) {
+	route, req := benchRoute()
+	tab := NewTable(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Install(sim.Time(i), uint64(i), route, 2, req, 0)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	route, req := benchRoute()
+	tab := NewTable(Config{Kind: Soft, TTL: sim.Time(1 << 60)})
+	for h := uint64(0); h < 1024; h++ {
+		tab.Install(0, h, route, 2, req, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(1, uint64(i)&1023)
+	}
+}
+
+func BenchmarkRefresh(b *testing.B) {
+	route, req := benchRoute()
+	tab := NewTable(Config{Kind: Soft, TTL: sim.Time(1 << 60)})
+	for h := uint64(0); h < 1024; h++ {
+		tab.Install(0, h, route, 2, req, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Refresh(1, uint64(i)&1023, 0)
+	}
+}
+
+func BenchmarkExpireDueSweep(b *testing.B) {
+	route, req := benchRoute()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab := NewTable(Config{Kind: Soft, TTL: sim.Time(1)})
+		for h := uint64(0); h < 512; h++ {
+			tab.Install(0, h, route, 2, req, 0)
+		}
+		b.StartTimer()
+		tab.ExpireDue(2)
+	}
+}

@@ -1,0 +1,293 @@
+// Package pgstate manages policy-gateway handle state — the per-route
+// entries installed by ORWG setup packets that let data packets carry a
+// short handle instead of a full source route (paper §5.4.1). How PGs hold
+// this state under churn is the explicit open issue of §6 ("policy gateway
+// state management"): handles installed by sources that crash, move, or
+// simply stop sending would accumulate forever under the seed
+// implementation's hard state.
+//
+// The package offers three pluggable lifecycle disciplines for one PG's
+// handle table:
+//
+//   - Hard: entries live until an explicit teardown (the seed behaviour).
+//     Zero control overhead, unbounded state: abandoned flows leak.
+//   - Soft: entries carry a TTL and expire unless the source refreshes
+//     them (wire.Refresh keepalives). State is bounded by the live flow
+//     set at the cost of refresh traffic.
+//   - Capped: the table holds at most Capacity entries, evicting the
+//     least recently used. State is bounded by construction; an evicted
+//     live flow drops packets (NAK-on-miss) until the source re-installs.
+//
+// Tables are single-threaded like the simulator nodes that own them;
+// callers needing concurrency (the route-server data plane) lock outside.
+// Experiment E21 measures the footprint / availability / control-overhead
+// triangle between the three disciplines.
+package pgstate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Kind selects the handle-lifecycle discipline.
+type Kind string
+
+// The three disciplines of §6.
+const (
+	// Hard state lives until explicit teardown.
+	Hard Kind = "hard"
+	// Soft state expires TTL after its last install/refresh.
+	Soft Kind = "soft"
+	// Capped state holds at most Capacity entries, evicting the LRU.
+	Capped Kind = "capped"
+)
+
+// Valid reports whether k names a known discipline ("" counts as Hard).
+func (k Kind) Valid() bool {
+	switch k {
+	case "", Hard, Soft, Capped:
+		return true
+	}
+	return false
+}
+
+// Default lifecycle parameters.
+const (
+	// DefaultTTL is the soft-state lifetime without a refresh.
+	DefaultTTL = 30 * sim.Second
+	// DefaultCapacity bounds a capped table when none is configured.
+	DefaultCapacity = 64
+)
+
+// Config parameterizes a Table. The zero value is hard state.
+type Config struct {
+	// Kind is the lifecycle discipline (default Hard).
+	Kind Kind
+	// TTL is the soft-state entry lifetime without refresh
+	// (default DefaultTTL; ignored unless Kind == Soft).
+	TTL sim.Time
+	// Capacity bounds a capped table's entry count
+	// (default DefaultCapacity; ignored unless Kind == Capped).
+	Capacity int
+}
+
+// Normalize fills defaults and returns an error for unknown kinds.
+func (c Config) Normalize() (Config, error) {
+	if !c.Kind.Valid() {
+		return c, fmt.Errorf("pgstate: unknown kind %q", c.Kind)
+	}
+	if c.Kind == "" {
+		c.Kind = Hard
+	}
+	if c.Kind == Soft && c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.Kind == Capped && c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	return c, nil
+}
+
+// Entry is one cached policy-route handle at a PG: the full route, this
+// AD's position on it, and the traffic class it was set up for.
+type Entry struct {
+	Route ad.Path
+	// Idx is this AD's position on Route (0 = source PG).
+	Idx int
+	Req policy.Request
+	// Installed is the setup time; Deadline is the soft-state expiry
+	// (zero = never expires).
+	Installed, Deadline sim.Time
+}
+
+// expired reports whether the entry's deadline has passed.
+func (e *Entry) expired(now sim.Time) bool {
+	return e.Deadline != 0 && e.Deadline < now
+}
+
+// Stats counts one table's lifecycle events. Resident and Peak track live
+// entries; the rest are cumulative.
+type Stats struct {
+	// Installs counts entries accepted; Hits and Misses count data-plane
+	// lookups (an expired entry found by lookup counts as a miss).
+	Installs, Hits, Misses uint64
+	// Evictions counts capacity drops (capped); Expirations counts TTL
+	// drops (soft); Refreshes counts accepted deadline extensions.
+	Evictions, Expirations, Refreshes uint64
+	// Resident is the current entry count; Peak is its maximum so far.
+	Resident, Peak int
+}
+
+// Add accumulates o into s, summing Resident and Peak (aggregating across
+// PGs: the Peak sum upper-bounds simultaneous state; per-PG peaks stay
+// exact in each table).
+func (s *Stats) Add(o Stats) {
+	s.Installs += o.Installs
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.Refreshes += o.Refreshes
+	s.Resident += o.Resident
+	s.Peak += o.Peak
+}
+
+// Table is one PG's handle table under a lifecycle discipline. Not safe
+// for concurrent use.
+type Table struct {
+	cfg   Config
+	lru   *cache.LRU[uint64, *Entry]
+	stats Stats
+}
+
+// NewTable builds an empty table. Unknown kinds panic: the Config is
+// program state, not input (validate input with Config.Normalize).
+func NewTable(cfg Config) *Table {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		panic(err)
+	}
+	capacity := 0 // unbounded for hard and soft state
+	if cfg.Kind == Capped {
+		capacity = cfg.Capacity
+	}
+	t := &Table{cfg: cfg, lru: cache.NewLRU[uint64, *Entry](capacity)}
+	t.lru.OnEvict = func(uint64, *Entry) { t.stats.Evictions++ }
+	return t
+}
+
+// Kind returns the table's lifecycle discipline.
+func (t *Table) Kind() Kind { return t.cfg.Kind }
+
+// TTL returns the soft-state lifetime (zero for other kinds).
+func (t *Table) TTL() sim.Time {
+	if t.cfg.Kind != Soft {
+		return 0
+	}
+	return t.cfg.TTL
+}
+
+// deadline computes the expiry for an install/refresh at now. ttl
+// overrides the configured TTL when positive (the Setup/Refresh packets
+// carry the source's requested lifetime).
+func (t *Table) deadline(now, ttl sim.Time) sim.Time {
+	if t.cfg.Kind != Soft {
+		return 0
+	}
+	if ttl <= 0 {
+		ttl = t.cfg.TTL
+	}
+	return now + ttl
+}
+
+// Install adds (or overwrites) the entry for handle h. ttl is the
+// source-requested soft lifetime (<= 0 = the table default). Under Capped
+// the LRU entry beyond capacity is evicted.
+func (t *Table) Install(now sim.Time, h uint64, route ad.Path, idx int, req policy.Request, ttl sim.Time) {
+	t.stats.Installs++
+	t.lru.Put(h, &Entry{
+		Route: route, Idx: idx, Req: req,
+		Installed: now, Deadline: t.deadline(now, ttl),
+	})
+	if n := t.lru.Len(); n > t.stats.Peak {
+		t.stats.Peak = n
+	}
+}
+
+// Lookup is the data-plane path: it returns the live entry for h, counts a
+// hit or miss, and touches recency. An expired entry is dropped and counts
+// as both an expiration and a miss — exactly the packet-drop a soft-state
+// PG inflicts on a flow whose source stopped refreshing.
+func (t *Table) Lookup(now sim.Time, h uint64) (*Entry, bool) {
+	e, ok := t.lru.Get(h)
+	if ok && e.expired(now) {
+		t.lru.Delete(h)
+		t.stats.Expirations++
+		ok = false
+	}
+	if !ok {
+		t.stats.Misses++
+		return nil, false
+	}
+	t.stats.Hits++
+	return e, true
+}
+
+// Peek is the control-plane path: like Lookup it drops expired entries,
+// but it touches neither recency nor the hit/miss counters (replies and
+// teardowns must not keep a dying entry warm).
+func (t *Table) Peek(now sim.Time, h uint64) (*Entry, bool) {
+	e, ok := t.lru.Peek(h)
+	if !ok {
+		return nil, false
+	}
+	if e.expired(now) {
+		t.lru.Delete(h)
+		t.stats.Expirations++
+		return nil, false
+	}
+	return e, true
+}
+
+// Refresh extends h's soft-state deadline (ttl <= 0 = table default) and
+// touches recency, reporting whether the entry was still present. For hard
+// and capped tables it is a recency touch only.
+func (t *Table) Refresh(now sim.Time, h uint64, ttl sim.Time) bool {
+	e, ok := t.lru.Get(h)
+	if !ok {
+		return false
+	}
+	if e.expired(now) {
+		t.lru.Delete(h)
+		t.stats.Expirations++
+		return false
+	}
+	e.Deadline = t.deadline(now, ttl)
+	t.stats.Refreshes++
+	return true
+}
+
+// Remove deletes h (explicit teardown), reporting whether it was present.
+func (t *Table) Remove(h uint64) bool { return t.lru.Delete(h) }
+
+// ExpireDue drops every entry whose deadline has passed and returns their
+// handles in ascending order (deterministic for simulation replay).
+func (t *Table) ExpireDue(now sim.Time) []uint64 {
+	var due []uint64
+	for _, h := range t.Handles() {
+		if e, ok := t.lru.Peek(h); ok && e.expired(now) {
+			due = append(due, h)
+		}
+	}
+	for _, h := range due {
+		t.lru.Delete(h)
+		t.stats.Expirations++
+	}
+	return due
+}
+
+// Handles returns the live handles in ascending order. Expired-but-unswept
+// entries are included; call ExpireDue first for a live-only view.
+func (t *Table) Handles() []uint64 {
+	out := make([]uint64, 0, t.lru.Len())
+	for _, h := range t.lru.Keys() {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the current entry count.
+func (t *Table) Len() int { return t.lru.Len() }
+
+// Stats returns the table's counters with Resident filled in.
+func (t *Table) Stats() Stats {
+	s := t.stats
+	s.Resident = t.lru.Len()
+	return s
+}

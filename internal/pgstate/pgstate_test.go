@@ -1,0 +1,217 @@
+package pgstate
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+var (
+	testRoute = ad.Path{1, 2, 3}
+	testReq   = policy.Request{Src: 1, Dst: 3}
+)
+
+func install(t *Table, now sim.Time, h uint64) {
+	t.Install(now, h, testRoute, 1, testReq, 0)
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c, err := Config{}.Normalize()
+	if err != nil || c.Kind != Hard {
+		t.Fatalf("zero config = %+v, %v; want hard state", c, err)
+	}
+	c, err = Config{Kind: Soft}.Normalize()
+	if err != nil || c.TTL != DefaultTTL {
+		t.Fatalf("soft config = %+v, %v; want default TTL", c, err)
+	}
+	c, err = Config{Kind: Capped}.Normalize()
+	if err != nil || c.Capacity != DefaultCapacity {
+		t.Fatalf("capped config = %+v, %v; want default capacity", c, err)
+	}
+	if _, err := (Config{Kind: "bogus"}).Normalize(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestHardStateLivesUntilRemove(t *testing.T) {
+	tab := NewTable(Config{Kind: Hard})
+	for h := uint64(1); h <= 100; h++ {
+		install(tab, sim.Time(h), h)
+	}
+	// A very late lookup still hits: hard state never expires.
+	if _, ok := tab.Lookup(1000*sim.Second, 1); !ok {
+		t.Fatal("hard entry vanished without teardown")
+	}
+	if !tab.Remove(1) {
+		t.Fatal("remove failed")
+	}
+	if _, ok := tab.Lookup(0, 1); ok {
+		t.Fatal("entry survived removal")
+	}
+	st := tab.Stats()
+	if st.Evictions != 0 || st.Expirations != 0 {
+		t.Fatalf("hard state evicted/expired: %+v", st)
+	}
+	if st.Peak != 100 || st.Resident != 99 {
+		t.Fatalf("peak/resident = %d/%d, want 100/99", st.Peak, st.Resident)
+	}
+}
+
+func TestSoftStateExpiresWithoutRefresh(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, TTL: 10 * sim.Second})
+	install(tab, 0, 1)
+	install(tab, 0, 2)
+	// Refresh keeps handle 1 alive past the original deadline.
+	if !tab.Refresh(8*sim.Second, 1, 0) {
+		t.Fatal("refresh of live entry failed")
+	}
+	if _, ok := tab.Lookup(12*sim.Second, 1); !ok {
+		t.Fatal("refreshed entry expired")
+	}
+	// Handle 2 was never refreshed: dead at 12s, and the lookup both
+	// expires it and counts a miss.
+	if _, ok := tab.Lookup(12*sim.Second, 2); ok {
+		t.Fatal("unrefreshed entry survived past TTL")
+	}
+	st := tab.Stats()
+	if st.Expirations != 1 || st.Misses != 1 || st.Refreshes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Refreshing an expired handle fails (the source must re-setup).
+	if tab.Refresh(100*sim.Second, 1, 0) {
+		t.Fatal("refresh resurrected an expired entry")
+	}
+}
+
+func TestSoftStateSourceRequestedTTL(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, TTL: 10 * sim.Second})
+	// The setup packet asked for a 60s lifetime; the table honours it.
+	tab.Install(0, 1, testRoute, 1, testReq, 60*sim.Second)
+	if _, ok := tab.Peek(50*sim.Second, 1); !ok {
+		t.Fatal("source-requested TTL not honoured")
+	}
+	if _, ok := tab.Peek(61*sim.Second, 1); ok {
+		t.Fatal("entry outlived the requested TTL")
+	}
+}
+
+func TestSoftExpireDueSweepsDeterministically(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, TTL: 5 * sim.Second})
+	for h := uint64(10); h >= 1; h-- { // install in descending order
+		install(tab, 0, h)
+	}
+	tab.Refresh(4*sim.Second, 3, 0)
+	due := tab.ExpireDue(6 * sim.Second)
+	if len(due) != 9 {
+		t.Fatalf("expired %d, want 9", len(due))
+	}
+	for i := 1; i < len(due); i++ {
+		if due[i-1] >= due[i] {
+			t.Fatalf("expiry sweep not ascending: %v", due)
+		}
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("resident = %d, want 1 (the refreshed entry)", tab.Len())
+	}
+	if hs := tab.Handles(); len(hs) != 1 || hs[0] != 3 {
+		t.Fatalf("survivor = %v, want [3]", hs)
+	}
+}
+
+func TestCappedStateEvictsLRU(t *testing.T) {
+	tab := NewTable(Config{Kind: Capped, Capacity: 3})
+	for h := uint64(1); h <= 3; h++ {
+		install(tab, 0, h)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := tab.Lookup(1, 1); !ok {
+		t.Fatal("lookup of live entry failed")
+	}
+	install(tab, 2, 4)
+	if _, ok := tab.Peek(2, 2); ok {
+		t.Fatal("LRU entry survived over-capacity install")
+	}
+	for _, h := range []uint64{1, 3, 4} {
+		if _, ok := tab.Peek(2, h); !ok {
+			t.Fatalf("entry %d wrongly evicted", h)
+		}
+	}
+	st := tab.Stats()
+	if st.Evictions != 1 || st.Peak != 3 || st.Resident != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Peak never exceeds capacity: the discipline's whole point.
+	for h := uint64(5); h <= 50; h++ {
+		install(tab, sim.Time(h), h)
+	}
+	if st = tab.Stats(); st.Peak != 3 {
+		t.Fatalf("peak %d exceeds capacity 3", st.Peak)
+	}
+}
+
+func TestRefreshTouchesCappedRecency(t *testing.T) {
+	tab := NewTable(Config{Kind: Capped, Capacity: 2})
+	install(tab, 0, 1)
+	install(tab, 1, 2)
+	// Refreshing 1 makes 2 the victim of the next install.
+	if !tab.Refresh(2, 1, 0) {
+		t.Fatal("refresh failed")
+	}
+	install(tab, 3, 3)
+	if _, ok := tab.Peek(3, 1); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+	if _, ok := tab.Peek(3, 2); ok {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestPeekDoesNotCountOrTouch(t *testing.T) {
+	tab := NewTable(Config{Kind: Capped, Capacity: 2})
+	install(tab, 0, 1)
+	install(tab, 1, 2)
+	// Peek at 1 must NOT promote it: 1 stays the LRU victim.
+	tab.Peek(2, 1)
+	install(tab, 3, 3)
+	if _, ok := tab.Peek(3, 1); ok {
+		t.Fatal("Peek promoted the entry")
+	}
+	st := tab.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved data-plane counters: %+v", st)
+	}
+}
+
+func TestEntryFieldsRoundTrip(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, TTL: 7 * sim.Second})
+	tab.Install(3, 9, testRoute, 2, testReq, 0)
+	e, ok := tab.Lookup(4, 9)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if !e.Route.Equal(testRoute) || e.Idx != 2 || e.Req != testReq ||
+		e.Installed != 3 || e.Deadline != 3+7*sim.Second {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Installs: 1, Hits: 2, Misses: 3, Evictions: 4, Expirations: 5, Refreshes: 6, Resident: 7, Peak: 8}
+	b := a
+	a.Add(b)
+	want := Stats{Installs: 2, Hits: 4, Misses: 6, Evictions: 8, Expirations: 10, Refreshes: 12, Resident: 14, Peak: 16}
+	if a != want {
+		t.Fatalf("sum = %+v, want %+v", a, want)
+	}
+}
+
+func TestNewTablePanicsOnBadKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad kind did not panic")
+		}
+	}()
+	NewTable(Config{Kind: "nope"})
+}

@@ -11,15 +11,27 @@
 // claim against their own local policy — not the flooded copy — cache the
 // handle, and forward. Subsequent data packets carry only the handle;
 // the header-length saving is measured by experiment E5.
+//
+// Per-PG handle state is managed by internal/pgstate under a configurable
+// lifecycle discipline (§6): hard state released only by teardown, soft
+// state kept alive by source-driven Refresh messages, or a capped LRU
+// table. A PG that no longer holds state for an arriving data or refresh
+// packet NAKs with SetupNoState; the NAK walks back to the source, which
+// queues the flow for re-establishment (RepairAll). Link failures trigger
+// the same repair path eagerly: the failed link's endpoints flush crossing
+// entries, NAK upstream, and tear down downstream.
 package orwg
 
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/core"
 	"repro/internal/flood"
+	"repro/internal/metrics"
+	"repro/internal/pgstate"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
@@ -44,15 +56,19 @@ type Config struct {
 	Strategy StrategyKind
 	// HotRequests seeds the precomputed/hybrid strategies.
 	HotRequests []policy.Request
-	// CacheCapacity bounds each policy gateway's handle cache (0 =
-	// unlimited). Exceeding it evicts the least recently used handle —
-	// the PG state-management issue of §6.
+	// CacheCapacity is the legacy capped-cache knob: a positive value is
+	// shorthand for State{Kind: Capped, Capacity: CacheCapacity}. Ignored
+	// when State.Kind is set explicitly.
 	CacheCapacity int
+	// State selects each policy gateway's handle lifecycle discipline —
+	// the PG state-management issue of §6. The zero value is hard state.
+	State pgstate.Config
 	// DataPayload is the payload size for Route's verification packet.
 	DataPayload int
 }
 
-// Normalize fills defaults.
+// Normalize fills defaults. It panics on an invalid State config: that is
+// a programming error, not a runtime condition.
 func (c Config) Normalize() Config {
 	if c.Strategy == "" {
 		c.Strategy = OnDemand
@@ -60,6 +76,14 @@ func (c Config) Normalize() Config {
 	if c.DataPayload == 0 {
 		c.DataPayload = 64
 	}
+	if c.State.Kind == "" && c.CacheCapacity > 0 {
+		c.State = pgstate.Config{Kind: pgstate.Capped, Capacity: c.CacheCapacity}
+	}
+	st, err := c.State.Normalize()
+	if err != nil {
+		panic(fmt.Sprintf("orwg: %v", err))
+	}
+	c.State = st
 	return c
 }
 
@@ -84,12 +108,24 @@ type CacheStats struct {
 	Entries                 int
 }
 
+// RepairSummary reports one RepairAll pass.
+type RepairSummary struct {
+	// Attempted counts flows pulled off repair queues.
+	Attempted int
+	// Repaired counts flows successfully re-established (possibly over a
+	// different route, always under a fresh handle).
+	Repaired int
+}
+
 // System is an ORWG deployment.
 type System struct {
 	cfg   Config
 	nw    *sim.Network
 	db    *policy.DB
 	nodes map[ad.ID]*node
+
+	// resetup records the setup RTT of each successful failure repair.
+	resetup metrics.Histogram
 
 	started bool
 }
@@ -108,8 +144,10 @@ func New(g *ad.Graph, db *policy.DB, cfg Config) *System {
 			id:          id,
 			sys:         s,
 			flooder:     flood.NewFlooder(id, "lsa"),
-			cache:       make(map[uint64]*cacheEntry),
+			table:       pgstate.NewTable(cfg.State),
 			established: make(map[uint64]ad.Path),
+			flows:       make(map[uint64]policy.Request),
+			repair:      make(map[uint64]policy.Request),
 			delivered:   make(map[uint64]int),
 		}
 		n.flooder.OnChange = n.onLSDBChange
@@ -132,6 +170,26 @@ func (s *System) Converge(limit sim.Time) (sim.Time, bool) {
 		s.nw.Start()
 	}
 	return s.nw.RunToQuiescence(limit)
+}
+
+// sortedIDs returns the ADs in ascending order, the deterministic sweep
+// order for every whole-system operation.
+func (s *System) sortedIDs() []ad.ID {
+	ids := make([]ad.ID, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ttlMillis is the lifetime sources request in Setup and Refresh packets:
+// the configured TTL under soft state, 0 (PG default) otherwise.
+func (s *System) ttlMillis() uint32 {
+	if s.cfg.State.Kind == pgstate.Soft {
+		return uint32(s.cfg.State.TTL / sim.Millisecond)
+	}
+	return 0
 }
 
 // Establish synthesizes and sets up a policy route for req, running the
@@ -206,11 +264,149 @@ func (s *System) Teardown(srcID ad.ID, handle uint64) {
 		return
 	}
 	delete(src.established, handle)
-	delete(src.cache, handle)
+	delete(src.flows, handle)
+	src.table.Remove(handle)
 	if len(path) >= 2 {
-		s.nw.Send("teardown", srcID, path[1], wire.Marshal(&wire.Teardown{Handle: handle}))
+		s.nw.Send("teardown", srcID, path[1], wire.Marshal(&wire.Teardown{
+			Handle: handle, Reason: wire.TeardownExplicit,
+		}))
 		s.nw.Engine.Run()
 	}
+}
+
+// Abandon makes the source forget an established flow without tearing it
+// down — the crashed-source / silent-departure model of §6. Downstream
+// handle state is orphaned: soft state expires it, capped state evicts it,
+// hard state leaks it until an explicit teardown that will never come.
+func (s *System) Abandon(srcID ad.ID, handle uint64) {
+	src, ok := s.nodes[srcID]
+	if !ok {
+		return
+	}
+	delete(src.established, handle)
+	delete(src.flows, handle)
+	src.table.Remove(handle)
+}
+
+// Advance moves simulated time forward by d with no protocol activity and
+// then sweeps every PG table for expired soft state. Experiments use it to
+// model idle periods between traffic waves.
+func (s *System) Advance(d sim.Time) {
+	s.nw.After(d, func() {})
+	s.nw.Engine.Run()
+	s.expireAll()
+}
+
+// expireAll sweeps each PG's table in AD order. An expired entry at a
+// flow's source also kills the flow: the source stopped refreshing, so the
+// flow is abandoned, not repaired.
+func (s *System) expireAll() {
+	now := s.nw.Now()
+	for _, id := range s.sortedIDs() {
+		n := s.nodes[id]
+		for _, h := range n.table.ExpireDue(now) {
+			delete(n.established, h)
+			delete(n.flows, h)
+		}
+	}
+}
+
+// RefreshEstablished makes every source re-assert its live flows: the
+// local table entry is touched and a Refresh packet walks the route
+// extending each PG's entry (§6 soft state). A PG that already dropped the
+// state NAKs with SetupNoState, which queues the flow for repair. The pump
+// is driven explicitly by the caller — the engine runs to quiescence, so a
+// self-rescheduling timer would never terminate.
+func (s *System) RefreshEstablished() {
+	ttl := s.ttlMillis()
+	ttlSim := sim.Time(ttl) * sim.Millisecond
+	for _, id := range s.sortedIDs() {
+		n := s.nodes[id]
+		handles := make([]uint64, 0, len(n.established))
+		for h := range n.established {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		for _, h := range handles {
+			path := n.established[h]
+			if len(path) < 2 {
+				continue
+			}
+			n.table.Refresh(s.nw.Now(), h, ttlSim)
+			s.nw.Send("refresh", n.id, path[1], wire.Marshal(&wire.Refresh{
+				Handle: h, TTLMillis: ttl,
+			}))
+		}
+	}
+	s.nw.Engine.Run()
+	s.expireAll()
+}
+
+// RepairAll re-establishes every flow queued for repair after a NAK or
+// link failure, in AD then handle order. Each successful repair gets a
+// fresh handle (and possibly a different route) and its setup RTT is
+// recorded in the re-setup latency histogram.
+func (s *System) RepairAll() RepairSummary {
+	var sum RepairSummary
+	for _, id := range s.sortedIDs() {
+		n := s.nodes[id]
+		if len(n.repair) == 0 {
+			continue
+		}
+		handles := make([]uint64, 0, len(n.repair))
+		for h := range n.repair {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		for _, h := range handles {
+			req := n.repair[h]
+			delete(n.repair, h)
+			sum.Attempted++
+			res := s.Establish(req)
+			if res.OK {
+				sum.Repaired++
+				s.resetup.Observe(time.Duration(res.RTT) * time.Microsecond)
+			}
+		}
+	}
+	return sum
+}
+
+// PendingRepairs counts flows waiting for RepairAll.
+func (s *System) PendingRepairs() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += len(n.repair)
+	}
+	return total
+}
+
+// ResetupLatency summarizes the setup RTTs of successful failure repairs.
+func (s *System) ResetupLatency() metrics.LatencySummary {
+	return s.resetup.Snapshot()
+}
+
+// Established counts live flows at every source.
+func (s *System) Established() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += len(n.established)
+	}
+	return total
+}
+
+// EstablishedAt lists srcID's live flow handles in ascending order.
+func (s *System) EstablishedAt(srcID ad.ID) []uint64 {
+	n, ok := s.nodes[srcID]
+	if !ok {
+		return nil
+	}
+	handles := make([]uint64, 0, len(n.established))
+	for h := range n.established {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	return handles
 }
 
 // Route implements core.System: establish a policy route, then verify it by
@@ -231,13 +427,13 @@ func (s *System) Route(req policy.Request) core.Outcome {
 	}
 }
 
-// StateEntries implements core.System: LSDB entries plus cached handles —
+// StateEntries implements core.System: LSDB entries plus resident handles —
 // the policy-gateway state of §6.
 func (s *System) StateEntries() int {
 	total := 0
 	for _, n := range s.nodes {
 		total += n.flooder.DB.Len()
-		total += len(n.cache)
+		total += n.table.Len()
 	}
 	return total
 }
@@ -255,16 +451,31 @@ func (s *System) Computations() int {
 	return total
 }
 
-// CacheStats aggregates every PG's handle-cache counters.
+// CacheStats aggregates every PG's handle-table counters.
 func (s *System) CacheStats() CacheStats {
 	var cs CacheStats
 	for _, n := range s.nodes {
-		cs.Hits += n.cacheHits
-		cs.Misses += n.cacheMisses
-		cs.Evictions += n.cacheEvictions
-		cs.Entries += len(n.cache)
+		st := n.table.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Evictions += st.Evictions
+		cs.Entries += n.table.Len()
 	}
 	return cs
+}
+
+// StateMetrics returns the handle-table counters summed over every PG and
+// the largest single-PG peak — the per-gateway memory high-water mark that
+// distinguishes the §6 disciplines.
+func (s *System) StateMetrics() (total pgstate.Stats, maxPeak int) {
+	for _, n := range s.nodes {
+		st := n.table.Stats()
+		total.Add(st)
+		if st.Peak > maxPeak {
+			maxPeak = st.Peak
+		}
+	}
+	return total, maxPeak
 }
 
 // LSDBBytes returns the marshalled size of one AD's LSDB (they converge to
@@ -276,8 +487,16 @@ func (s *System) LSDBBytes() int {
 	return 0
 }
 
-// FailLink injects a link failure.
-func (s *System) FailLink(a, b ad.ID) error { return s.nw.FailLink(a, b) }
+// FailLink injects a link failure and runs the resulting repair traffic
+// (upstream NAKs, downstream repair teardowns, LSA re-floods) to
+// quiescence.
+func (s *System) FailLink(a, b ad.ID) error {
+	if err := s.nw.FailLink(a, b); err != nil {
+		return err
+	}
+	s.nw.Engine.Run()
+	return nil
+}
 
 // UpdatePolicy replaces an AD's policy terms at runtime: the AD re-floods
 // its LSA with the new terms, and its policy gateway re-validates every
@@ -304,15 +523,6 @@ func (s *System) UpdatePolicy(id ad.ID, terms []policy.Term) error {
 // PolicyDB exposes the current ground-truth policy database.
 func (s *System) PolicyDB() *policy.DB { return s.db }
 
-// cacheEntry is one PG's cached policy-route state for a handle.
-type cacheEntry struct {
-	route    ad.Path
-	idx      int // this AD's position on the route
-	req      policy.Request
-	lastUsed sim.Time
-	seq      uint64 // LRU tiebreak
-}
-
 // node is one AD's ORWG process: flooder, route server, and policy gateway.
 type node struct {
 	id      ad.ID
@@ -325,16 +535,17 @@ type node struct {
 	viewDirty bool
 	strategy  synthesis.Strategy
 
-	// Policy gateway state.
-	cache          map[uint64]*cacheEntry
-	cacheSeq       uint64
-	cacheHits      uint64
-	cacheMisses    uint64
-	cacheEvictions uint64
+	// Policy gateway state: the per-handle table under the configured
+	// lifecycle discipline.
+	table *pgstate.Table
 
-	// Source state.
+	// Source state. flows mirrors established with the originating
+	// request; it survives table eviction so a NAKed flow can be queued
+	// in repair for re-establishment.
 	handleSeq    uint32
 	established  map[uint64]ad.Path
+	flows        map[uint64]policy.Request
+	repair       map[uint64]policy.Request
 	lastFailCode uint8
 	lastFailedAt ad.ID
 
@@ -420,33 +631,18 @@ func (n *node) newHandle() uint64 {
 	return uint64(n.id)<<32 | uint64(n.handleSeq)
 }
 
-// startSetup caches the source's own entry and emits the setup packet.
+// startSetup installs the source's own entry and emits the setup packet.
 func (n *node) startSetup(nw *sim.Network, handle uint64, req policy.Request, route ad.Path, keys []policy.Key) {
-	n.cacheInsert(nw, handle, route, 0, req)
-	msg := &wire.Setup{Handle: handle, Req: req, Route: route, TermKeys: keys}
+	ttl := n.sys.ttlMillis()
+	n.install(nw, handle, route, 0, req, ttl)
+	msg := &wire.Setup{Handle: handle, Req: req, Route: route, TermKeys: keys, TTLMillis: ttl}
 	nw.Send("setup", n.id, route[1], wire.Marshal(msg))
 }
 
-// cacheInsert adds a handle entry, evicting the LRU entry beyond capacity.
-func (n *node) cacheInsert(nw *sim.Network, handle uint64, route ad.Path, idx int, req policy.Request) {
-	cap := n.sys.cfg.CacheCapacity
-	if cap > 0 && len(n.cache) >= cap {
-		if _, exists := n.cache[handle]; !exists {
-			var lruKey uint64
-			var lru *cacheEntry
-			for h, e := range n.cache {
-				if lru == nil || e.lastUsed < lru.lastUsed ||
-					(e.lastUsed == lru.lastUsed && e.seq < lru.seq) {
-					lru = e
-					lruKey = h
-				}
-			}
-			delete(n.cache, lruKey)
-			n.cacheEvictions++
-		}
-	}
-	n.cacheSeq++
-	n.cache[handle] = &cacheEntry{route: route, idx: idx, req: req, lastUsed: nw.Now(), seq: n.cacheSeq}
+// install adds a handle entry under the configured discipline, honouring
+// the setup packet's requested TTL.
+func (n *node) install(nw *sim.Network, handle uint64, route ad.Path, idx int, req policy.Request, ttlMillis uint32) {
+	n.table.Install(nw.Now(), handle, route, idx, req, sim.Time(ttlMillis)*sim.Millisecond)
 }
 
 func (n *node) Receive(nw *sim.Network, from ad.ID, payload []byte) {
@@ -465,6 +661,8 @@ func (n *node) Receive(nw *sim.Network, from ad.ID, payload []byte) {
 		n.handleData(nw, from, m)
 	case *wire.Teardown:
 		n.handleTeardown(nw, from, m)
+	case *wire.Refresh:
+		n.handleRefresh(nw, from, m)
 	}
 }
 
@@ -496,8 +694,8 @@ func (n *node) handleSetup(nw *sim.Network, from ad.ID, m *wire.Setup) {
 		return
 	}
 	if idx == len(m.Route)-1 {
-		// Destination PG: accept, cache for the data plane, reply OK.
-		n.cacheInsert(nw, m.Handle, m.Route, idx, m.Req)
+		// Destination PG: accept, install for the data plane, reply OK.
+		n.install(nw, m.Handle, m.Route, idx, m.Req, m.TTLMillis)
 		nw.Send("setup-reply", n.id, from, wire.Marshal(&wire.SetupReply{
 			Handle: m.Handle, Code: wire.SetupOK,
 		}))
@@ -527,89 +725,131 @@ func (n *node) handleSetup(nw *sim.Network, from ad.ID, m *wire.Setup) {
 		reject(wire.SetupNoLink)
 		return
 	}
-	n.cacheInsert(nw, m.Handle, m.Route, idx, m.Req)
+	n.install(nw, m.Handle, m.Route, idx, m.Req, m.TTLMillis)
 	nw.Send("setup", n.id, next, wire.Marshal(m))
 }
 
-// handleSetupReply propagates a reply backward along the cached route,
-// dropping the cached state on failure.
+// failFlow resolves a NAK at the flow's source: the flow dies and is
+// queued for re-establishment by RepairAll.
+func (n *node) failFlow(h uint64, req policy.Request, code uint8, failedAt ad.ID) {
+	n.lastFailCode = code
+	n.lastFailedAt = failedAt
+	delete(n.established, h)
+	delete(n.flows, h)
+	n.repair[h] = req
+}
+
+// handleSetupReply propagates a reply backward along the installed route,
+// dropping the handle state on failure.
 func (n *node) handleSetupReply(nw *sim.Network, from ad.ID, m *wire.SetupReply) {
-	e, ok := n.cache[m.Handle]
+	e, ok := n.table.Peek(nw.Now(), m.Handle)
 	if !ok {
-		return
-	}
-	if !m.OK() {
-		delete(n.cache, m.Handle)
-	}
-	if e.idx == 0 {
-		// Source: resolve the pending setup.
-		if m.OK() {
-			n.established[m.Handle] = e.route
-		} else {
-			n.lastFailCode = m.Code
-			n.lastFailedAt = m.FailedAt
-			delete(n.cache, m.Handle)
+		// No PG state left for the handle (evicted or expired). If this
+		// node sourced the flow it still resolves the NAK; otherwise the
+		// reply dies here and any state further upstream ages out under
+		// its own discipline.
+		if req, isSource := n.flows[m.Handle]; isSource && !m.OK() {
+			n.failFlow(m.Handle, req, m.Code, m.FailedAt)
 		}
 		return
 	}
-	nw.Send("setup-reply", n.id, e.route[e.idx-1], wire.Marshal(m))
+	if !m.OK() {
+		n.table.Remove(m.Handle)
+	}
+	if e.Idx == 0 {
+		// Source: resolve the pending setup or kill the live flow.
+		if m.OK() {
+			n.established[m.Handle] = e.Route
+			n.flows[m.Handle] = e.Req
+			return
+		}
+		n.lastFailCode = m.Code
+		n.lastFailedAt = m.FailedAt
+		if req, isFlow := n.flows[m.Handle]; isFlow {
+			n.failFlow(m.Handle, req, m.Code, m.FailedAt)
+		}
+		return
+	}
+	nw.Send("setup-reply", n.id, e.Route[e.Idx-1], wire.Marshal(m))
 }
 
-// handleData forwards a handle-mode data packet along the cached route with
-// per-packet validation (is it arriving from the cached previous AD?).
+// handleData forwards a handle-mode data packet along the installed route
+// with per-packet validation (is it arriving from the cached previous AD?).
+// A miss NAKs SetupNoState back toward the source (§6): evicted or expired
+// state is re-established on demand rather than silently blackholing.
 func (n *node) handleData(nw *sim.Network, from ad.ID, m *wire.Data) {
 	if m.Mode != wire.ModeHandle {
 		return // source-route data packets are the filter baseline's plane
 	}
-	e, ok := n.cache[m.Handle]
+	e, ok := n.table.Lookup(nw.Now(), m.Handle)
 	if !ok {
-		n.cacheMisses++
-		return // dropped: state evicted or never established
+		nw.Send("setup-reply", n.id, from, wire.Marshal(&wire.SetupReply{
+			Handle: m.Handle, Code: wire.SetupNoState, FailedAt: n.id,
+		}))
+		return
 	}
-	if e.idx > 0 && e.route[e.idx-1] != from {
+	if e.Idx > 0 && e.Route[e.Idx-1] != from {
 		return // per-packet validation failure (§5.4.1)
 	}
-	n.cacheHits++
-	n.cacheSeq++
-	e.lastUsed = nw.Now()
-	e.seq = n.cacheSeq
-	if e.idx == len(e.route)-1 {
+	if e.Idx == len(e.Route)-1 {
 		n.delivered[m.Handle]++
 		return
 	}
-	nw.Send("data", n.id, e.route[e.idx+1], wire.Marshal(m))
+	nw.Send("data", n.id, e.Route[e.Idx+1], wire.Marshal(m))
 }
 
-// handleTeardown releases cached state along the route.
-func (n *node) handleTeardown(nw *sim.Network, from ad.ID, m *wire.Teardown) {
-	e, ok := n.cache[m.Handle]
+// handleRefresh extends a handle's lifetime (§6 soft state) and forwards
+// the keepalive downstream. A PG that no longer holds the state NAKs so
+// the source learns the route decayed.
+func (n *node) handleRefresh(nw *sim.Network, from ad.ID, m *wire.Refresh) {
+	now := nw.Now()
+	if !n.table.Refresh(now, m.Handle, sim.Time(m.TTLMillis)*sim.Millisecond) {
+		nw.Send("setup-reply", n.id, from, wire.Marshal(&wire.SetupReply{
+			Handle: m.Handle, Code: wire.SetupNoState, FailedAt: n.id,
+		}))
+		return
+	}
+	e, ok := n.table.Peek(now, m.Handle)
 	if !ok {
 		return
 	}
-	delete(n.cache, m.Handle)
-	if e.idx < len(e.route)-1 {
-		nw.Send("teardown", n.id, e.route[e.idx+1], wire.Marshal(m))
+	if e.Idx > 0 && e.Route[e.Idx-1] != from {
+		return
+	}
+	if e.Idx < len(e.Route)-1 {
+		nw.Send("refresh", n.id, e.Route[e.Idx+1], wire.Marshal(m))
 	}
 }
 
-// revalidateCache re-checks every cached policy route against this AD's
+// handleTeardown releases handle state along the route, for both explicit
+// releases and failure-driven repair invalidations.
+func (n *node) handleTeardown(nw *sim.Network, from ad.ID, m *wire.Teardown) {
+	e, ok := n.table.Peek(nw.Now(), m.Handle)
+	if !ok {
+		return
+	}
+	n.table.Remove(m.Handle)
+	if e.Idx < len(e.Route)-1 {
+		nw.Send("teardown", n.id, e.Route[e.Idx+1], wire.Marshal(m))
+	}
+}
+
+// revalidateCache re-checks every installed policy route against this AD's
 // current local policy, tearing down routes that are no longer permitted.
 // Handles are processed in sorted order for determinism.
 func (n *node) revalidateCache(nw *sim.Network) {
-	handles := make([]uint64, 0, len(n.cache))
-	for h := range n.cache {
-		handles = append(handles, h)
-	}
-	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
-	for _, h := range handles {
-		e := n.cache[h]
-		if e.idx == 0 || e.idx == len(e.route)-1 {
+	for _, h := range n.table.Handles() {
+		e, ok := n.table.Peek(nw.Now(), h)
+		if !ok {
+			continue
+		}
+		if e.Idx == 0 || e.Idx == len(e.Route)-1 {
 			continue // sources and destinations hold no transit obligation
 		}
-		prev, next := e.route[e.idx-1], e.route[e.idx+1]
+		prev, next := e.Route[e.Idx-1], e.Route[e.Idx+1]
 		permitted := false
 		for _, t := range n.sys.db.Terms(n.id) {
-			if t.Permits(e.req, prev, next) {
+			if t.Permits(e.Req, prev, next) {
 				permitted = true
 				break
 			}
@@ -617,22 +857,52 @@ func (n *node) revalidateCache(nw *sim.Network) {
 		if permitted {
 			continue
 		}
-		delete(n.cache, h)
+		n.table.Remove(h)
 		nw.Send("setup-reply", n.id, prev, wire.Marshal(&wire.SetupReply{
 			Handle: h, Code: wire.SetupNoPolicy, FailedAt: n.id,
 		}))
 	}
 }
 
+// LinkDown is the failure-driven repair path (§6): this endpoint flushes
+// every handle whose route crossed the dead adjacency. If the failed hop
+// was downstream, a SetupNoLink NAK walks back so the source re-establishes
+// through its route server; if upstream, a repair teardown clears the
+// now-unreachable state downstream.
 func (n *node) LinkDown(nw *sim.Network, nb ad.ID) {
 	n.flooder.Originate(nw, n.sys.db.Terms(n.id))
-	// Established routes using the failed adjacency die at the source.
-	for h, p := range n.established {
-		for i := 1; i < len(p); i++ {
-			if (p[i-1] == n.id && p[i] == nb) || (p[i-1] == nb && p[i] == n.id) {
-				delete(n.established, h)
-				break
+	now := nw.Now()
+	for _, h := range n.table.Handles() {
+		e, ok := n.table.Peek(now, h)
+		if !ok {
+			continue
+		}
+		upDead := e.Idx > 0 && e.Route[e.Idx-1] == nb
+		downDead := e.Idx < len(e.Route)-1 && e.Route[e.Idx+1] == nb
+		if !upDead && !downDead {
+			continue
+		}
+		n.table.Remove(h)
+		if downDead {
+			if e.Idx == 0 {
+				// This PG sourced the flow: fail it locally.
+				n.lastFailCode = wire.SetupNoLink
+				n.lastFailedAt = n.id
+				if req, isFlow := n.flows[h]; isFlow {
+					n.failFlow(h, req, wire.SetupNoLink, n.id)
+				} else {
+					delete(n.established, h)
+				}
+			} else {
+				nw.Send("setup-reply", n.id, e.Route[e.Idx-1], wire.Marshal(&wire.SetupReply{
+					Handle: h, Code: wire.SetupNoLink, FailedAt: n.id,
+				}))
 			}
+		}
+		if upDead && e.Idx < len(e.Route)-1 {
+			nw.Send("teardown", n.id, e.Route[e.Idx+1], wire.Marshal(&wire.Teardown{
+				Handle: h, Reason: wire.TeardownRepair,
+			}))
 		}
 	}
 }

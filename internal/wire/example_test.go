@@ -24,7 +24,7 @@ func ExampleMarshal() {
 	}
 	decoded := msg.(*wire.Setup)
 	fmt.Println(decoded.Type(), decoded.Route, "terms:", len(decoded.TermKeys), "bytes:", len(buf))
-	// Output: setup AD1>AD4>AD6>AD9 terms: 2 bytes: 59
+	// Output: setup AD1>AD4>AD6>AD9 terms: 2 bytes: 63
 }
 
 // ExampleData_HeaderLen contrasts the per-packet routing header of the two

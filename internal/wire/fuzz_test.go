@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ad"
+	"repro/internal/policy"
 )
 
 // TestUnmarshalRandomBytesNeverPanics feeds Unmarshal random garbage. The
@@ -35,9 +36,11 @@ func TestUnmarshalMutatedValidMessages(t *testing.T) {
 	bases := [][]byte{
 		Marshal(&DVUpdate{Routes: []DVRoute{{Dest: 1, Metric: 2, QOS: 1}}}),
 		Marshal(&LSA{Origin: 3, Seq: 9, Links: []LSALink{{Neighbor: 4, Cost: 1, Up: true}}}),
-		Marshal(&Setup{Handle: 7, Route: ad.Path{1, 2, 3}}),
+		Marshal(&Setup{Handle: 7, Route: ad.Path{1, 2, 3}, TTLMillis: 250}),
 		Marshal(&Data{Mode: ModeSourceRoute, Payload: []byte("abcdef")}),
 		Marshal(&EGPUpdate{Routes: []EGPRoute{{Dest: 5, Metric: 2}}}),
+		Marshal(&Refresh{Handle: 7, TTLMillis: 1000}),
+		Marshal(&Teardown{Handle: 7, Reason: TeardownRepair}),
 	}
 	for trial := 0; trial < 5000; trial++ {
 		base := bases[rng.Intn(len(bases))]
@@ -67,4 +70,49 @@ func TestUnmarshalMutatedValidMessages(t *testing.T) {
 			}
 		}()
 	}
+}
+
+// FuzzDecode is the native fuzz target over the full message set: Unmarshal
+// must never panic, and any message it accepts must re-marshal and decode
+// back to an identical byte string (encode/decode is a bijection on the
+// accepted set).
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		&DVUpdate{Routes: []DVRoute{{Dest: 1, Metric: 2, QOS: 1, Flags: FlagWithdraw}}},
+		&PathVector{Routes: []PVRoute{{
+			Dest: 7, Metric: 12, Path: ad.Path{1, 2, 7},
+			AllowedSources: policy.SetOf(1, 3), UCI: policy.ClassSetOf(0, 1),
+		}}},
+		&LSA{Origin: 3, Seq: 9,
+			Links: []LSALink{{Neighbor: 4, Cost: 1, Up: true}},
+			Terms: []policy.Term{policy.OpenTerm(3, 1)}},
+		&Setup{Handle: 7, Req: policy.Request{Src: 1, Dst: 3}, Route: ad.Path{1, 2, 3},
+			TermKeys: []policy.Key{{Advertiser: 2, Serial: 1}}, TTLMillis: 250},
+		&SetupReply{Handle: 7, Code: SetupNoState, FailedAt: 2},
+		&Data{Handle: 7, Mode: ModeHandle, Payload: []byte("payload")},
+		&Data{Mode: ModeSourceRoute, HopIndex: 1, Req: policy.Request{Src: 1, Dst: 3},
+			Route: ad.Path{1, 2, 3}, Payload: []byte("payload")},
+		&Teardown{Handle: 7, Reason: TeardownRepair},
+		&EGPUpdate{Routes: []EGPRoute{{Dest: 5, Metric: 2}}},
+		&Refresh{Handle: 7, TTLMillis: 1000},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, byte(TypeRefresh), 0, 0})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		m, err := Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		re := Marshal(m)
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted %v failed: %v", m.Type(), err)
+		}
+		if string(Marshal(m2)) != string(re) {
+			t.Fatalf("%v not a fixed point: % x vs % x", m.Type(), Marshal(m2), re)
+		}
+	})
 }

@@ -200,6 +200,10 @@ type Setup struct {
 	// TermKeys lists, in route order, the claimed policy term for each
 	// transit AD (len(Route)-2 entries for routes of length >= 2).
 	TermKeys []policy.Key
+	// TTLMillis is the soft-state lifetime the source requests for the
+	// installed handle, in milliseconds (0 = the PG's default; hard and
+	// capped PGs ignore it). Part of the §6 state-management extension.
+	TTLMillis uint32
 }
 
 // Type implements Message.
@@ -214,7 +218,7 @@ func (m *Setup) appendBody(dst []byte) []byte {
 		dst = appendU32(dst, uint32(k.Advertiser))
 		dst = appendU32(dst, k.Serial)
 	}
-	return dst
+	return appendU32(dst, m.TTLMillis)
 }
 
 func (m *Setup) decodeBody(r *reader) {
@@ -222,16 +226,16 @@ func (m *Setup) decodeBody(r *reader) {
 	m.Req = readRequest(r)
 	m.Route = readPath(r)
 	n := int(r.u16())
-	if n == 0 {
-		return
+	if n > 0 {
+		m.TermKeys = make([]policy.Key, 0, n)
 	}
-	m.TermKeys = make([]policy.Key, 0, n)
 	for i := 0; i < n; i++ {
 		m.TermKeys = append(m.TermKeys, policy.Key{
 			Advertiser: ad.ID(r.u32()),
 			Serial:     r.u32(),
 		})
 	}
+	m.TTLMillis = r.u32()
 }
 
 // Setup reply codes.
@@ -247,6 +251,10 @@ const (
 	// SetupBadRoute means the route was malformed (loop, wrong
 	// endpoints).
 	SetupBadRoute
+	// SetupNoState is the NAK a PG returns when a data or refresh packet
+	// names a handle it no longer holds (evicted, expired, or flushed by
+	// a failure): the source must re-establish via its route server.
+	SetupNoState
 )
 
 // SetupReply reports setup success or the failing AD and reason.
@@ -326,21 +334,59 @@ func (m *Data) HeaderLen() int {
 	return headerLen + 8 + 2 + 11 + 2 + 4*len(m.Route) + 2
 }
 
+// Teardown reasons.
+const (
+	// TeardownExplicit is an ordinary source-initiated release.
+	TeardownExplicit uint8 = iota
+	// TeardownRepair is a failure-driven invalidation: a PG adjacent to a
+	// failed link flushes the handle downstream so stale state does not
+	// linger while the source re-establishes.
+	TeardownRepair
+)
+
 // Teardown releases the policy-route state identified by Handle at each AD
 // along the cached route.
 type Teardown struct {
 	Handle uint64
+	// Reason distinguishes explicit release from failure-driven repair.
+	Reason uint8
 }
 
 // Type implements Message.
 func (*Teardown) Type() MsgType { return TypeTeardown }
 
 func (m *Teardown) appendBody(dst []byte) []byte {
-	return appendU64(dst, m.Handle)
+	dst = appendU64(dst, m.Handle)
+	return append(dst, m.Reason)
 }
 
 func (m *Teardown) decodeBody(r *reader) {
 	m.Handle = r.u64()
+	m.Reason = r.u8()
+}
+
+// Refresh is the soft-state keepalive (paper §6): the source re-asserts an
+// established handle so each PG on the route extends the entry's lifetime.
+// A PG without state for the handle answers with a SetupReply carrying
+// SetupNoState, forcing a re-setup.
+type Refresh struct {
+	Handle uint64
+	// TTLMillis is the requested lifetime extension in milliseconds
+	// (0 = the PG's configured default).
+	TTLMillis uint32
+}
+
+// Type implements Message.
+func (*Refresh) Type() MsgType { return TypeRefresh }
+
+func (m *Refresh) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Handle)
+	return appendU32(dst, m.TTLMillis)
+}
+
+func (m *Refresh) decodeBody(r *reader) {
+	m.Handle = r.u64()
+	m.TTLMillis = r.u32()
 }
 
 // EGPRoute is one reachability entry in an EGP update.

@@ -49,6 +49,9 @@ const (
 	TypeTeardown
 	// TypeEGP is an EGP neighbor-reachability update.
 	TypeEGP
+	// TypeRefresh is a soft-state keepalive extending a policy-route
+	// handle's lifetime at each PG on the cached route.
+	TypeRefresh
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +73,8 @@ func (t MsgType) String() string {
 		return "teardown"
 	case TypeEGP:
 		return "egp"
+	case TypeRefresh:
+		return "refresh"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -149,6 +154,8 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &Teardown{}
 	case TypeEGP:
 		m = &EGPUpdate{}
+	case TypeRefresh:
+		m = &Refresh{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
 	}

@@ -129,6 +129,7 @@ func TestSetupRoundTrip(t *testing.T) {
 			{Advertiser: 4, Serial: 1},
 			{Advertiser: 6, Serial: 3},
 		},
+		TTLMillis: 30000,
 	}
 	got := roundTrip(t, m).(*Setup)
 	if !reflect.DeepEqual(got, m) {
@@ -189,9 +190,20 @@ func TestDataHeaderLen(t *testing.T) {
 }
 
 func TestTeardownRoundTrip(t *testing.T) {
-	got := roundTrip(t, &Teardown{Handle: 1234}).(*Teardown)
-	if got.Handle != 1234 {
-		t.Errorf("handle = %d", got.Handle)
+	got := roundTrip(t, &Teardown{Handle: 1234, Reason: TeardownRepair}).(*Teardown)
+	if got.Handle != 1234 || got.Reason != TeardownRepair {
+		t.Errorf("got %+v", got)
+	}
+	if got := roundTrip(t, &Teardown{Handle: 9}).(*Teardown); got.Reason != TeardownExplicit {
+		t.Errorf("zero reason decoded as %d", got.Reason)
+	}
+}
+
+func TestRefreshRoundTrip(t *testing.T) {
+	m := &Refresh{Handle: 0xABCDEF0102030405, TTLMillis: 45000}
+	got := roundTrip(t, m).(*Refresh)
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("got %+v, want %+v", got, m)
 	}
 }
 
@@ -238,11 +250,12 @@ func TestUnmarshalBodyTruncationEveryPrefix(t *testing.T) {
 		&DVUpdate{Routes: []DVRoute{{Dest: 1, Metric: 2}}},
 		&PathVector{Routes: []PVRoute{{Dest: 1, Path: ad.Path{1, 2}, AllowedSources: policy.SetOf(1)}}},
 		&LSA{Origin: 1, Seq: 1, Links: []LSALink{{Neighbor: 2, Cost: 1, Up: true}}, Terms: []policy.Term{testTerm()}},
-		&Setup{Handle: 1, Route: ad.Path{1, 2}, TermKeys: []policy.Key{{Advertiser: 1, Serial: 1}}},
+		&Setup{Handle: 1, Route: ad.Path{1, 2}, TermKeys: []policy.Key{{Advertiser: 1, Serial: 1}}, TTLMillis: 1000},
 		&SetupReply{Handle: 1},
 		&Data{Route: ad.Path{1}, Payload: []byte("abc")},
-		&Teardown{Handle: 1},
+		&Teardown{Handle: 1, Reason: TeardownRepair},
 		&EGPUpdate{Routes: []EGPRoute{{Dest: 1}}},
+		&Refresh{Handle: 1, TTLMillis: 500},
 	}
 	for _, m := range msgs {
 		full := Marshal(m)
@@ -350,7 +363,7 @@ func TestPropertyLSATermRoundTrip(t *testing.T) {
 
 func TestMsgTypeString(t *testing.T) {
 	types := []MsgType{TypeDVUpdate, TypePathVector, TypeLSA, TypeSetup,
-		TypeSetupReply, TypeData, TypeTeardown, TypeEGP, MsgType(99)}
+		TypeSetupReply, TypeData, TypeTeardown, TypeEGP, TypeRefresh, MsgType(99)}
 	for _, typ := range types {
 		if typ.String() == "" {
 			t.Errorf("MsgType(%d).String() empty", typ)
