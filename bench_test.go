@@ -227,6 +227,123 @@ func BenchmarkE20RouteServer(b *testing.B) {
 	})
 }
 
+// BenchmarkE22ScopedInvalidation measures serving under churn with the two
+// invalidation modes: the same fail/restore timeline over the first two
+// lateral links fires mid-run (by workload fraction), once with zero-value
+// Changes (full generation bumps) and once with scoped link changes. It
+// emits BENCH_scopedinvalidation.json. Wall-clock QPS and P95 are hardware-
+// dependent; the synthesis counts are approximate here because event firing
+// points depend on scheduling (E22 measures them exactly at phase barriers).
+func BenchmarkE22ScopedInvalidation(b *testing.B) {
+	topo := topology.Generate(topology.Config{
+		Seed: benchSeed, Backbones: 2, RegionalsPerBackbone: 3,
+		CampusesPerParent: 3, LateralProb: 0.25, BypassProb: 0.1,
+		MultihomedProb: 0.15, HybridProb: 0.15,
+	})
+	// Mostly permissive regime (cf. e22Policy): the cache must hold working
+	// routes for retention to have anything to retain.
+	db := policy.Generate(topo.Graph, policy.GenConfig{
+		Seed: benchSeed, QOSClasses: 2, UCIClasses: 2,
+		QOSCoverage: 1.0, UCICoverage: 1.0, HybridSourceFraction: 0.9,
+		SourceRestrictionProb: 0.2, SourceFraction: 0.7,
+		DestRestrictionProb: 0.1, DestFraction: 0.7, AvoidProb: 0.1,
+	})
+	workload := trafficgen.Generate(topo.Graph, trafficgen.Config{
+		Seed: benchSeed + 2, Requests: 2000, StubsOnly: true,
+		Model: "zipf", ZipfS: 1.4, QOSClasses: 2, UCIClasses: 2,
+	})
+
+	var laterals []ad.Link
+	for _, l := range topo.Graph.Links() {
+		if l.Class == ad.Lateral && len(laterals) < 2 {
+			laterals = append(laterals, l)
+		}
+	}
+	if len(laterals) < 2 {
+		b.Skip("topology has fewer than two lateral links")
+	}
+
+	// The timeline restores every failed link, so the graph is back in its
+	// initial state after each iteration.
+	events := func(scoped bool) []routeserver.Event {
+		g := topo.Graph
+		mk := func(after float64, l ad.Link, down bool) routeserver.Event {
+			ev := routeserver.Event{After: after}
+			if down {
+				ev.Label = "fail"
+				ev.Apply = func() { g.RemoveLink(l.A, l.B) }
+				if scoped {
+					ev.Change = synthesis.LinkDownChange(l.A, l.B)
+				}
+			} else {
+				ev.Label = "restore"
+				ev.Apply = func() { _ = g.AddLink(l) }
+				if scoped {
+					ev.Change = synthesis.LinkUpChange(l.A, l.B)
+				}
+			}
+			return ev
+		}
+		return []routeserver.Event{
+			mk(0.2, laterals[0], true), mk(0.4, laterals[0], false),
+			mk(0.6, laterals[1], true), mk(0.8, laterals[1], false),
+		}
+	}
+
+	report := scopedBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Requests: len(workload)}
+	for _, mode := range []string{"full", "scoped"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			srv := routeserver.New(synthesis.NewOnDemand(topo.Graph, db), routeserver.Config{})
+			sink += len(routeserver.ServePhase(srv, workload, 4)) // warm
+			warm := srv.Snapshot()
+			var qps float64
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep := routeserver.Run(srv, workload, routeserver.LoadConfig{
+					Clients: 4, Events: events(mode == "scoped"),
+				})
+				sink += rep.Served
+			}
+			if el := time.Since(start).Seconds(); el > 0 {
+				qps = float64(b.N*len(workload)) / el
+			}
+			fin := srv.Snapshot()
+			synthPerRun := float64(fin.Misses-warm.Misses) / float64(b.N)
+			if mode == "scoped" {
+				report.ScopedQPS, report.ScopedP95NS = qps, fin.Latency.P95.Nanoseconds()
+				report.SynthScopedPerRun = synthPerRun
+			} else {
+				report.FullQPS, report.FullP95NS = qps, fin.Latency.P95.Nanoseconds()
+				report.SynthFullPerRun = synthPerRun
+			}
+		})
+	}
+	if report.SynthFullPerRun > 0 {
+		report.SynthAvoided = 1 - report.SynthScopedPerRun/report.SynthFullPerRun
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_scopedinvalidation.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_scopedinvalidation.json: %v", err)
+	}
+}
+
+type scopedBenchReport struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Requests          int     `json:"requests"`
+	FullQPS           float64 `json:"full_qps"`
+	ScopedQPS         float64 `json:"scoped_qps"`
+	FullP95NS         int64   `json:"full_p95_ns"`
+	ScopedP95NS       int64   `json:"scoped_p95_ns"`
+	SynthFullPerRun   float64 `json:"synth_full_per_run"`
+	SynthScopedPerRun float64 `json:"synth_scoped_per_run"`
+	SynthAvoided      float64 `json:"synth_avoided"`
+}
+
 type benchReport struct {
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Requests    int     `json:"requests"`

@@ -1,11 +1,12 @@
 // Command experiments regenerates every table and figure of the
 // reproduction: the Table 1 design-space comparison, the Figure 1 topology
-// validation, and experiments E1–E21 (see DESIGN.md for the index and
+// validation, and experiments E1–E22 (see DESIGN.md for the index and
 // EXPERIMENTS.md for recorded results).
 //
 // Usage:
 //
-//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e21]
+//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e22] \
+//	            [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -20,11 +22,24 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Int64("seed", 42, "experiment seed (all results are deterministic in it)")
-	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e21")
+	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e22")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent experiment workers (1 = serial; output is identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 
 	runners := map[string]func(int64) *metrics.Table{
 		"table1":  experiments.Table1DesignSpace,
@@ -50,25 +65,61 @@ func main() {
 		"e19":     experiments.E19MultihomedStubs,
 		"e20":     experiments.E20RouteServer,
 		"e21":     experiments.E21StateLifecycles,
+		"e22":     experiments.E22ScopedInvalidation,
 	}
 
 	if *only != "" {
-		run, ok := runners[strings.ToLower(*only)]
+		runner, ok := runners[strings.ToLower(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e21\n", *only)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e22\n", *only)
+			return 2
 		}
-		if err := run(*seed).Render(os.Stdout); err != nil {
+		if err := runner(*seed).Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	for _, tbl := range experiments.RunAll(*seed, *parallel) {
 		if err := tbl.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot at stop
+// time. Empty paths disable the corresponding profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
 }

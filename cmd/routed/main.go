@@ -6,11 +6,16 @@
 //
 //   - Line mode (default): reads queries from stdin, one per line
 //     ("SRC DST [QOS UCI HOUR]"), answers each, and accepts the commands
-//     "fail A B", "restore A B", "policy AD COST", "stats", and "quit",
-//     plus the data-plane commands "install SRC DST [QOS UCI HOUR]",
-//     "send HANDLE", "refresh", "tick SECONDS", "repair", and "state".
-//     Served routes are installed as per-PG handle state whose lifecycle
-//     (-state hard|soft|capped, -state-ttl, -state-cap) follows §6.
+//     "fail A B", "restore A B", "policy AD COST", "invalidate", "stats",
+//     and "quit", plus the data-plane commands "install SRC DST [QOS UCI
+//     HOUR]", "send HANDLE", "refresh", "tick SECONDS", "repair", and
+//     "state". fail/restore/policy invalidate the route cache scoped to
+//     the change — entries provably unaffected keep serving (still legal,
+//     possibly no longer optimal after a restore or policy broadening);
+//     "invalidate" forces the full generation bump that restores
+//     optimality. Served routes are installed as per-PG handle state whose
+//     lifecycle (-state hard|soft|capped, -state-ttl, -state-cap)
+//     follows §6.
 //
 //   - Load mode (-load): replays a synthetic workload (uniform / Zipf /
 //     gravity) from -clients concurrent goroutines, optionally injecting
@@ -27,7 +32,8 @@
 //	       [-scenario file.json] [-seed N] [-requests N] [-model zipf] \
 //	       [-clients N] [-churn] [-cache N] [-shards N] [-workers N] \
 //	       [-qos N] [-uci N] [-bench-json file] \
-//	       [-state hard|soft|capped] [-state-ttl dur] [-state-cap N]
+//	       [-state hard|soft|capped] [-state-ttl dur] [-state-cap N] \
+//	       [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -40,6 +46,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/ad"
 	"repro/internal/core"
@@ -54,6 +63,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		scenarioPath = flag.String("scenario", "", "scenario file supplying topology, policy, workload, and churn events")
 		seed         = flag.Int64("seed", 42, "seed for the generated internet and workload")
@@ -73,13 +86,15 @@ func main() {
 		stateKind    = flag.String("state", "hard", "PG handle lifecycle for installed routes: hard, soft, capped")
 		stateTTL     = flag.Duration("state-ttl", 30*time.Second, "soft-state TTL in simulated time (-state soft)")
 		stateCap     = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	g, db, workload, events, err := materialize(*scenarioPath, *seed, *requests, *model, *zipfS, *qosClasses, *uciClasses)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	srv := routeserver.New(buildStrategy(*strategy, g, db, workload, *qosClasses, *uciClasses), routeserver.Config{
@@ -95,8 +110,15 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 
 	if *load {
 		if *churn {
@@ -107,13 +129,48 @@ func main() {
 		if *benchJSON != "" {
 			if err := writeJSON(*benchJSON, srv, rep); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
 	serve(os.Stdin, os.Stdout, srv, dp, g, db)
+	return 0
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot at stop
+// time. Empty paths disable the corresponding profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
 }
 
 // materialize builds the internet and workload, either from a scenario file
@@ -172,9 +229,10 @@ func materialize(path string, seed int64, requests int, model string, zipfS floa
 	events := make([]routeserver.Event, len(muts))
 	for i, m := range muts {
 		events[i] = routeserver.Event{
-			After: float64(i+1) / float64(len(muts)+1),
-			Label: m.Label,
-			Apply: m.Apply,
+			After:  float64(i+1) / float64(len(muts)+1),
+			Label:  m.Label,
+			Apply:  m.Apply,
+			Change: m.Change,
 		}
 	}
 	return g, db, workload, events, nil
@@ -234,9 +292,11 @@ func churnEvents(g *ad.Graph) []routeserver.Event {
 	}
 	return []routeserver.Event{
 		{After: 0.4, Label: fmt.Sprintf("fail %v-%v", target.A, target.B),
-			Apply: func() { g.RemoveLink(target.A, target.B) }},
+			Apply:  func() { g.RemoveLink(target.A, target.B) },
+			Change: synthesis.LinkDownChange(target.A, target.B)},
 		{After: 0.7, Label: fmt.Sprintf("restore %v-%v", target.A, target.B),
-			Apply: func() { _ = g.AddLink(target) }},
+			Apply:  func() { _ = g.AddLink(target) },
+			Change: synthesis.LinkUpChange(target.A, target.B)},
 	}
 }
 
@@ -248,7 +308,8 @@ func printReport(w io.Writer, srv *routeserver.Server, rep routeserver.Report) {
 	fmt.Fprintf(w, "elapsed     %v (%.0f qps)\n", rep.Elapsed, rep.QPS)
 	fmt.Fprintf(w, "cache       %d hits, %d coalesced, %d misses (%.1f%% served without synthesis)\n",
 		m.Hits, m.Coalesced, m.Misses, 100*m.HitRate())
-	fmt.Fprintf(w, "churn       %d invalidations, %d evictions\n", m.Invalidations, m.Evictions)
+	fmt.Fprintf(w, "churn       %d full invalidations, %d scoped (%d evicted, %d retained), %d evictions\n",
+		m.Invalidations, m.ScopedMutations, m.ScopedEvicted, m.ScopedRetained, m.Evictions)
 	fmt.Fprintf(w, "latency     p50 %v  p95 %v  p99 %v\n", m.Latency.P50, m.Latency.P95, m.Latency.P99)
 	st := rep.Strategy
 	fmt.Fprintf(w, "synthesis   %d precompute + %d on-demand expansions, %d entries cached by the strategy\n",
@@ -259,21 +320,24 @@ func printReport(w io.Writer, srv *routeserver.Server, rep routeserver.Report) {
 func writeJSON(path string, srv *routeserver.Server, rep routeserver.Report) error {
 	m := rep.Metrics
 	out, err := json.MarshalIndent(map[string]any{
-		"strategy":      srv.StrategyName(),
-		"requests":      rep.Requests,
-		"served":        rep.Served,
-		"no_route":      rep.NoRoute,
-		"elapsed_ns":    rep.Elapsed.Nanoseconds(),
-		"qps":           rep.QPS,
-		"hits":          m.Hits,
-		"coalesced":     m.Coalesced,
-		"misses":        m.Misses,
-		"hit_rate":      m.HitRate(),
-		"invalidations": m.Invalidations,
-		"evictions":     m.Evictions,
-		"latency_p50":   m.Latency.P50.Nanoseconds(),
-		"latency_p95":   m.Latency.P95.Nanoseconds(),
-		"latency_p99":   m.Latency.P99.Nanoseconds(),
+		"strategy":         srv.StrategyName(),
+		"requests":         rep.Requests,
+		"served":           rep.Served,
+		"no_route":         rep.NoRoute,
+		"elapsed_ns":       rep.Elapsed.Nanoseconds(),
+		"qps":              rep.QPS,
+		"hits":             m.Hits,
+		"coalesced":        m.Coalesced,
+		"misses":           m.Misses,
+		"hit_rate":         m.HitRate(),
+		"invalidations":    m.Invalidations,
+		"scoped_mutations": m.ScopedMutations,
+		"scoped_evicted":   m.ScopedEvicted,
+		"scoped_retained":  m.ScopedRetained,
+		"evictions":        m.Evictions,
+		"latency_p50":      m.Latency.P50.Nanoseconds(),
+		"latency_p95":      m.Latency.P95.Nanoseconds(),
+		"latency_p99":      m.Latency.P99.Nanoseconds(),
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -317,6 +381,7 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			fmt.Fprintf(out, "usage: %s A B\n", fields[0])
 			return true
 		}
+		var evicted, retained int
 		if fields[0] == "fail" {
 			link, found := linkOf(g, a, b)
 			if !found {
@@ -324,7 +389,8 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 				return true
 			}
 			removed[[2]ad.ID{link.A, link.B}] = link
-			srv.Mutate(func() { g.RemoveLink(a, b) })
+			evicted, retained = srv.MutateScoped(
+				synthesis.LinkDownChange(a, b), func() { g.RemoveLink(a, b) })
 			// Failure-driven repair: flush installed handle state that
 			// crossed the dead link and queue its flows for "repair".
 			if flushed := dp.InvalidateLink(a, b); flushed > 0 {
@@ -338,9 +404,10 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 				return true
 			}
 			delete(removed, [2]ad.ID{key.A, key.B})
-			srv.Mutate(func() { _ = g.AddLink(link) })
+			evicted, retained = srv.MutateScoped(
+				synthesis.LinkUpChange(a, b), func() { _ = g.AddLink(link) })
 		}
-		fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+		fmt.Fprintf(out, "ok (evicted %d, retained %d)\n", evicted, retained)
 	case "policy":
 		// policy AD COST: replace the AD's terms with one open term.
 		a, c, ok := twoIDs(fields[1:])
@@ -350,7 +417,15 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 		}
 		term := policy.OpenTerm(a, 0)
 		term.Cost = uint32(c)
-		srv.Mutate(func() { db.SetTerms(a, []policy.Term{term}) })
+		// Diff before applying so the eviction is scoped to the term keys
+		// that actually changed.
+		ch := synthesis.PolicyChangeOf(db.DiffTerms(a, []policy.Term{term}))
+		evicted, retained := srv.MutateScoped(ch, func() { db.SetTerms(a, []policy.Term{term}) })
+		fmt.Fprintf(out, "ok (evicted %d, retained %d)\n", evicted, retained)
+	case "invalidate":
+		// Full generation bump: drops every cached route, restoring
+		// optimality after scoped retentions.
+		srv.Invalidate()
 		fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
 	case "install":
 		// install SRC DST [QOS UCI HOUR]: serve a route and install it as
@@ -427,7 +502,7 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 func parseQuery(fields []string) (policy.Request, error) {
 	var req policy.Request
 	if len(fields) < 2 || len(fields) > 5 {
-		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, stats, install, send, refresh, tick, repair, state, quit")
+		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, invalidate, stats, install, send, refresh, tick, repair, state, quit")
 	}
 	vals := make([]uint64, len(fields))
 	for i, f := range fields {

@@ -84,13 +84,27 @@ fail 2 4
 1 4
 restore 2 4
 1 4
+invalidate
+1 4
 fail 9 9
 restore 9 9
 fail x y
 `)
-	// Route before failure, detour during, original after restore.
-	if strings.Count(out, "AD1>AD2>AD4") != 2 || !strings.Contains(out, "AD1>AD3>AD4") {
-		t.Errorf("fail/restore did not reroute:\n%s", out)
+	// Cheap route before the failure, detour during. The restore is scoped:
+	// the detour is still legal, so it keeps serving (retained, no longer
+	// optimal) until "invalidate" forces the full bump and the cheap route
+	// returns.
+	if strings.Count(out, "AD1>AD2>AD4") != 2 || strings.Count(out, "AD1>AD3>AD4") != 2 {
+		t.Errorf("fail/restore/invalidate sequence wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ok (evicted 1, retained 0)") {
+		t.Errorf("fail did not report a scoped eviction:\n%s", out)
+	}
+	if !strings.Contains(out, "ok (evicted 0, retained 1)") {
+		t.Errorf("restore did not retain the detour:\n%s", out)
+	}
+	if !strings.Contains(out, "ok (gen 1)") {
+		t.Errorf("invalidate did not bump the generation:\n%s", out)
 	}
 	if !strings.Contains(out, "no link") {
 		t.Errorf("failing a nonexistent link not reported:\n%s", out)

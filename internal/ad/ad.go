@@ -504,6 +504,28 @@ func (p Path) Cost(g *Graph) (uint32, bool) {
 	return total, true
 }
 
+// CrossesLink reports whether the path traverses the a-b adjacency in
+// either direction.
+func (p Path) CrossesLink(a, b ID) bool {
+	for i := 1; i < len(p); i++ {
+		if (p[i-1] == a && p[i] == b) || (p[i-1] == b && p[i] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transits reports whether id appears as a transit (interior) AD on the
+// path — endpoints do not count.
+func (p Path) Transits(id ID) bool {
+	for i := 1; i < len(p)-1; i++ {
+		if p[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Contains reports whether the path visits id.
 func (p Path) Contains(id ID) bool {
 	for _, x := range p {

@@ -79,6 +79,7 @@ var independent = []func(int64) *metrics.Table{
 	E19MultihomedStubs,
 	E20RouteServer,
 	E21StateLifecycles,
+	E22ScopedInvalidation,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

@@ -306,3 +306,54 @@ func TestE21StateLifecycles(t *testing.T) {
 		}
 	}
 }
+
+func TestE22ScopedInvalidation(t *testing.T) {
+	tbl := E22ScopedInvalidation(seed)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 workloads x 2 strategies x 2 modes)", len(tbl.Rows))
+	}
+	type key struct{ model, strategy, mode string }
+	rows := map[key][]string{}
+	for _, row := range tbl.Rows {
+		// The retention oracle is absolute: every served route must be
+		// legal under the then-current topology and policy, every no-route
+		// answer verified by exhaustive search.
+		if row[8] != row[3] {
+			t.Errorf("%s/%s/%s: legal-ok %s of %s", row[0], row[1], row[2], row[8], row[3])
+		}
+		// Full mode's discard is the lazy generation bump: it never takes
+		// the scoped eviction path.
+		if row[2] == "full" && (row[6] != "0" || row[7] != "0") {
+			t.Errorf("%s/%s/full: evicted/retained = %s/%s, want 0/0", row[0], row[1], row[6], row[7])
+		}
+		rows[key{row[0], row[1], row[2]}] = row
+	}
+	for _, model := range []string{"uniform", "zipf"} {
+		for _, strategy := range []string{"on-demand", "hybrid"} {
+			full := rows[key{model, strategy, "full"}]
+			scoped := rows[key{model, strategy, "scoped"}]
+			if full == nil || scoped == nil {
+				t.Fatalf("missing rows for %s/%s", model, strategy)
+			}
+			// The headline claims: scoped invalidation avoids at least half
+			// of the post-churn synthesis work and at least doubles the
+			// retained hit rate, on every workload/strategy combination.
+			fullSynth, scopedSynth := parseFloat(t, full[4]), parseFloat(t, scoped[4])
+			if scopedSynth > fullSynth/2 {
+				t.Errorf("%s/%s: scoped synth %.0f > half of full %.0f", model, strategy, scopedSynth, fullSynth)
+			}
+			fullHit, scopedHit := parseFloat(t, full[5]), parseFloat(t, scoped[5])
+			if scopedHit < 2*fullHit {
+				t.Errorf("%s/%s: scoped hit-rate %.3f < 2x full %.3f", model, strategy, scopedHit, fullHit)
+			}
+			// Scoped mode both evicts (the changes do bite) and retains
+			// (most of the cache is out of any one change's footprint).
+			if parseFloat(t, scoped[6]) == 0 || parseFloat(t, scoped[7]) == 0 {
+				t.Errorf("%s/%s: scoped evicted/retained = %s/%s", model, strategy, scoped[6], scoped[7])
+			}
+			if parseFloat(t, scoped[7]) <= parseFloat(t, scoped[6]) {
+				t.Errorf("%s/%s: link-local churn evicted more (%s) than it retained (%s)", model, strategy, scoped[6], scoped[7])
+			}
+		}
+	}
+}

@@ -140,9 +140,56 @@ func (s *Stats) Add(o Stats) {
 // Table is one PG's handle table under a lifecycle discipline. Not safe
 // for concurrent use.
 type Table struct {
-	cfg   Config
-	lru   *cache.LRU[uint64, *Entry]
-	stats Stats
+	cfg Config
+	lru *cache.LRU[uint64, *Entry]
+	// byLink maps each adjacency (canonical low-high pair) crossed by an
+	// entry's route to the handles depending on it, so link-failure
+	// invalidation touches only the affected handles instead of scanning
+	// the whole table. Maintained in step with lru.
+	byLink map[[2]ad.ID]map[uint64]struct{}
+	stats  Stats
+}
+
+// linkOf orders an adjacency low-high so both directions index together.
+func linkOf(a, b ad.ID) [2]ad.ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ad.ID{a, b}
+}
+
+// indexRoute adds h's link-dependency edges.
+func (t *Table) indexRoute(h uint64, route ad.Path) {
+	for i := 1; i < len(route); i++ {
+		l := linkOf(route[i-1], route[i])
+		m := t.byLink[l]
+		if m == nil {
+			m = make(map[uint64]struct{})
+			t.byLink[l] = m
+		}
+		m[h] = struct{}{}
+	}
+}
+
+// unindexRoute removes h's link-dependency edges.
+func (t *Table) unindexRoute(h uint64, route ad.Path) {
+	for i := 1; i < len(route); i++ {
+		l := linkOf(route[i-1], route[i])
+		if m := t.byLink[l]; m != nil {
+			delete(m, h)
+			if len(m) == 0 {
+				delete(t.byLink, l)
+			}
+		}
+	}
+}
+
+// drop removes h and its index edges, reporting whether it was present.
+func (t *Table) drop(h uint64) bool {
+	if e, ok := t.lru.Peek(h); ok {
+		t.unindexRoute(h, e.Route)
+	}
+	return t.lru.Delete(h)
 }
 
 // NewTable builds an empty table. Unknown kinds panic: the Config is
@@ -156,8 +203,15 @@ func NewTable(cfg Config) *Table {
 	if cfg.Kind == Capped {
 		capacity = cfg.Capacity
 	}
-	t := &Table{cfg: cfg, lru: cache.NewLRU[uint64, *Entry](capacity)}
-	t.lru.OnEvict = func(uint64, *Entry) { t.stats.Evictions++ }
+	t := &Table{
+		cfg:    cfg,
+		lru:    cache.NewLRU[uint64, *Entry](capacity),
+		byLink: make(map[[2]ad.ID]map[uint64]struct{}),
+	}
+	t.lru.OnEvict = func(h uint64, e *Entry) {
+		t.stats.Evictions++
+		t.unindexRoute(h, e.Route)
+	}
 	return t
 }
 
@@ -190,10 +244,14 @@ func (t *Table) deadline(now, ttl sim.Time) sim.Time {
 // the LRU entry beyond capacity is evicted.
 func (t *Table) Install(now sim.Time, h uint64, route ad.Path, idx int, req policy.Request, ttl sim.Time) {
 	t.stats.Installs++
+	if old, ok := t.lru.Peek(h); ok {
+		t.unindexRoute(h, old.Route)
+	}
 	t.lru.Put(h, &Entry{
 		Route: route, Idx: idx, Req: req,
 		Installed: now, Deadline: t.deadline(now, ttl),
 	})
+	t.indexRoute(h, route)
 	if n := t.lru.Len(); n > t.stats.Peak {
 		t.stats.Peak = n
 	}
@@ -206,7 +264,7 @@ func (t *Table) Install(now sim.Time, h uint64, route ad.Path, idx int, req poli
 func (t *Table) Lookup(now sim.Time, h uint64) (*Entry, bool) {
 	e, ok := t.lru.Get(h)
 	if ok && e.expired(now) {
-		t.lru.Delete(h)
+		t.drop(h)
 		t.stats.Expirations++
 		ok = false
 	}
@@ -227,7 +285,7 @@ func (t *Table) Peek(now sim.Time, h uint64) (*Entry, bool) {
 		return nil, false
 	}
 	if e.expired(now) {
-		t.lru.Delete(h)
+		t.drop(h)
 		t.stats.Expirations++
 		return nil, false
 	}
@@ -243,7 +301,7 @@ func (t *Table) Refresh(now sim.Time, h uint64, ttl sim.Time) bool {
 		return false
 	}
 	if e.expired(now) {
-		t.lru.Delete(h)
+		t.drop(h)
 		t.stats.Expirations++
 		return false
 	}
@@ -253,7 +311,7 @@ func (t *Table) Refresh(now sim.Time, h uint64, ttl sim.Time) bool {
 }
 
 // Remove deletes h (explicit teardown), reporting whether it was present.
-func (t *Table) Remove(h uint64) bool { return t.lru.Delete(h) }
+func (t *Table) Remove(h uint64) bool { return t.drop(h) }
 
 // ExpireDue drops every entry whose deadline has passed and returns their
 // handles in ascending order (deterministic for simulation replay).
@@ -265,7 +323,7 @@ func (t *Table) ExpireDue(now sim.Time) []uint64 {
 		}
 	}
 	for _, h := range due {
-		t.lru.Delete(h)
+		t.drop(h)
 		t.stats.Expirations++
 	}
 	return due
@@ -276,6 +334,21 @@ func (t *Table) ExpireDue(now sim.Time) []uint64 {
 func (t *Table) Handles() []uint64 {
 	out := make([]uint64, 0, t.lru.Len())
 	for _, h := range t.lru.Keys() {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandlesCrossing returns, in ascending order, the handles whose routes
+// traverse the a-b adjacency (either direction), resolved through the link
+// index — link-failure invalidation cost scales with the affected flows,
+// not the table size. Expired-but-unswept entries are included, matching
+// Handles.
+func (t *Table) HandlesCrossing(a, b ad.ID) []uint64 {
+	m := t.byLink[linkOf(a, b)]
+	out := make([]uint64, 0, len(m))
+	for h := range m {
 		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -144,6 +144,25 @@ func (s ADSet) Union(o ADSet) ADSet {
 // Empty reports whether the set matches no AD.
 func (s ADSet) Empty() bool { return !s.all && len(s.ids) == 0 }
 
+// Equal reports whether two sets have identical membership.
+func (s ADSet) Equal(o ADSet) bool {
+	if s.all != o.all {
+		return false
+	}
+	if s.all {
+		return true
+	}
+	if len(s.ids) != len(o.ids) {
+		return false
+	}
+	for id := range s.ids {
+		if _, ok := o.ids[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders "*" for the universal set, else the sorted member list.
 func (s ADSet) String() string {
 	if s.all {
@@ -218,6 +237,22 @@ type Key struct {
 
 // Key returns the term's unique key.
 func (t Term) Key() Key { return Key{Advertiser: t.Advertiser, Serial: t.Serial} }
+
+// EqualContent reports whether two terms are identical apart from their
+// serial numbers. SetTerms uses it to carry a term's key across a
+// replacement, so scoped cache invalidation can tell "this term survived"
+// from "this term changed".
+func (t Term) EqualContent(o Term) bool {
+	return t.Advertiser == o.Advertiser &&
+		t.Sources.Equal(o.Sources) &&
+		t.Dests.Equal(o.Dests) &&
+		t.PrevADs.Equal(o.PrevADs) &&
+		t.NextADs.Equal(o.NextADs) &&
+		t.QOS == o.QOS &&
+		t.UCI == o.UCI &&
+		t.Hours == o.Hours &&
+		t.Cost == o.Cost
+}
 
 // OpenTerm returns the least restrictive term for adID: all sources, dests,
 // neighbors, classes, and hours, with cost 1. The paper recommends ADs
@@ -405,16 +440,109 @@ func (db *DB) Clone() *DB {
 	return c
 }
 
-// SetTerms replaces id's advertised terms in place (advertiser fields are
-// forced to id). The route server uses this for policy changes on a live
-// database; callers must hold off concurrent readers while mutating (e.g.
-// via routeserver.Server.Mutate).
-func (db *DB) SetTerms(id ad.ID, terms []Term) {
-	db.terms[id] = nil
+// TermsDelta describes how an advertiser's term set changed across a
+// SetTerms call, in the vocabulary scoped cache invalidation needs.
+type TermsDelta struct {
+	// AD is the advertiser whose terms changed.
+	AD ad.ID
+	// Removed lists the keys of terms that were dropped or whose content
+	// changed: routes admitted by one of them may have lost their
+	// permission. Sorted by serial.
+	Removed []Key
+	// Broadens reports whether any term was added or modified: request
+	// pairs that previously had no legal route may have gained one.
+	Broadens bool
+}
+
+// Empty reports whether the delta describes no change at all.
+func (d TermsDelta) Empty() bool { return len(d.Removed) == 0 && !d.Broadens }
+
+// pairTerms forces the advertiser on the incoming terms and matches each
+// zero-serial one against an unclaimed old term with identical content,
+// reusing its serial — stable term identity across replacements — then
+// returns the prepared terms plus the old-vs-new delta. Incoming terms
+// still holding serial 0 after pairing are genuinely new; Add assigns them
+// fresh serials.
+func pairTerms(id ad.ID, old, terms []Term) ([]Term, TermsDelta) {
+	prepared := make([]Term, len(terms))
+	used := make(map[uint32]bool, len(terms))
 	for _, t := range terms {
+		if t.Serial != 0 {
+			used[t.Serial] = true
+		}
+	}
+	for i, t := range terms {
 		t.Advertiser = id
+		if t.Serial == 0 {
+			for _, o := range old {
+				if !used[o.Serial] && t.EqualContent(o) {
+					t.Serial = o.Serial
+					used[o.Serial] = true
+					break
+				}
+			}
+		}
+		prepared[i] = t
+	}
+
+	delta := TermsDelta{AD: id}
+	oldByKey := make(map[Key]Term, len(old))
+	for _, o := range old {
+		oldByKey[o.Key()] = o
+	}
+	for _, t := range prepared {
+		o, survives := oldByKey[t.Key()]
+		switch {
+		case t.Serial == 0:
+			// Freshly added term (serial assigned later by Add).
+			delta.Broadens = true
+		case survives && t.EqualContent(o):
+			delete(oldByKey, t.Key())
+		case survives:
+			// Same key, different content: dependents must go, and the
+			// new content may admit routes the old one refused.
+			delta.Removed = append(delta.Removed, t.Key())
+			delta.Broadens = true
+			delete(oldByKey, t.Key())
+		default:
+			// Explicit serial with no predecessor.
+			delta.Broadens = true
+		}
+	}
+	for k := range oldByKey {
+		delta.Removed = append(delta.Removed, k)
+	}
+	sort.Slice(delta.Removed, func(i, j int) bool {
+		return delta.Removed[i].Serial < delta.Removed[j].Serial
+	})
+	return prepared, delta
+}
+
+// SetTerms replaces id's advertised terms in place (advertiser fields are
+// forced to id) and returns the delta between the old and new sets. A new
+// term whose content is identical to a replaced one keeps that term's
+// serial, so term keys — which scoped cache invalidation indexes routes by
+// — stay stable across no-op and partial replacements. The route server
+// uses this for policy changes on a live database; callers must hold off
+// concurrent readers while mutating (e.g. via routeserver.Server.Mutate or
+// MutateScoped).
+func (db *DB) SetTerms(id ad.ID, terms []Term) TermsDelta {
+	prepared, delta := pairTerms(id, db.terms[id], terms)
+	db.terms[id] = nil
+	for _, t := range prepared {
 		db.Add(t)
 	}
+	return delta
+}
+
+// DiffTerms returns the delta SetTerms(id, terms) would produce, without
+// mutating the database. Serving front ends use it to build the scoped
+// change descriptor before applying the mutation under
+// routeserver.Server.MutateScoped. It must not race with concurrent
+// mutations of the database.
+func (db *DB) DiffTerms(id ad.ID, terms []Term) TermsDelta {
+	_, delta := pairTerms(id, db.terms[id], terms)
+	return delta
 }
 
 // WithTerms returns a copy of the database in which id's terms are replaced

@@ -235,17 +235,15 @@ func (d *DataPlane) RefreshAll() (refreshed, failed int) {
 // InvalidateLink flushes every entry whose route crosses the a-b adjacency,
 // in AD then handle order — the eager failure-driven invalidation of the
 // simulated protocol's LinkDown path. Affected flows are queued for Repair.
+// Each table resolves its dependents through its link index, so the cost
+// scales with the flows actually crossing the link, not with total state.
 func (d *DataPlane) InvalidateLink(a, b ad.ID) (flushed int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, id := range d.sortedADs() {
 		t := d.tables[id]
-		for _, h := range t.Handles() {
-			e, ok := t.Peek(d.now, h)
-			if !ok {
-				continue
-			}
-			if !crossesLink(e.Route, a, b) {
+		for _, h := range t.HandlesCrossing(a, b) {
+			if _, ok := t.Peek(d.now, h); !ok {
 				continue
 			}
 			t.Remove(h)
@@ -257,16 +255,6 @@ func (d *DataPlane) InvalidateLink(a, b ad.ID) (flushed int) {
 		}
 	}
 	return flushed
-}
-
-// crossesLink reports whether path traverses the a-b adjacency.
-func crossesLink(path ad.Path, a, b ad.ID) bool {
-	for i := 1; i < len(path); i++ {
-		if (path[i-1] == a && path[i] == b) || (path[i-1] == b && path[i] == a) {
-			return true
-		}
-	}
-	return false
 }
 
 // Repair re-establishes every queued flow through srv, in handle order:

@@ -8,8 +8,9 @@ import (
 )
 
 // Event is one churn injection during a load run: after roughly the given
-// fraction of the workload has been served, Apply runs under Server.Mutate
-// (exclusive access, then invalidation).
+// fraction of the workload has been served, Apply runs under
+// Server.MutateScoped (exclusive access, then invalidation scoped to
+// Change).
 type Event struct {
 	// After is the workload fraction (0..1) at which the event fires.
 	After float64
@@ -18,6 +19,10 @@ type Event struct {
 	// Apply mutates the topology or policy database the server's
 	// strategy synthesizes over.
 	Apply func()
+	// Change scopes the invalidation to what Apply actually touched. The
+	// zero value is a full (unscoped) invalidation, so existing timelines
+	// keep their whole-cache-bump semantics.
+	Change synthesis.Change
 }
 
 // LoadConfig parameterizes a load run.
@@ -77,7 +82,7 @@ func Run(srv *Server, workload []policy.Request, cfg LoadConfig) Report {
 					time.Sleep(50 * time.Microsecond)
 				}
 			}
-			srv.Mutate(ev.Apply)
+			srv.MutateScoped(ev.Change, ev.Apply)
 		}
 	}()
 

@@ -5,6 +5,10 @@
 //
 //   - a sharded LRU route cache keyed by (src, dst, QOS, UCI, hour) with
 //     generation-based invalidation on topology/policy-change events,
+//   - a per-shard reverse dependency index (link → keys, term → keys,
+//     negative-entry set) fed by each route's synthesis.Footprint, so
+//     MutateScoped evicts only the entries a change can affect while the
+//     rest of the cache keeps serving with zero recomputation,
 //   - singleflight request coalescing, so concurrent misses for the same
 //     key trigger exactly one synthesis,
 //   - a bounded worker pool for miss computation (strategies themselves
@@ -14,7 +18,15 @@
 //
 // Correctness contract: a query observes either the state before an
 // invalidation or after it, never a mix — cached entries are tagged with
-// the generation that produced them and are never served across a bump.
+// the generation that produced them and are never served across a full
+// bump. Scoped mutations do not bump the generation; instead they evict
+// every dependent entry under the strategy lock before any post-change
+// synthesis can run, and bump a coalescing epoch so queries issued after
+// the mutation never join a pre-mutation in-flight computation. Entries
+// retained across a scoped mutation are legal under the post-change state
+// by construction (the change provably cannot affect them), though a
+// broadening change may have created a cheaper route; callers that need
+// optimality back use the full Invalidate.
 package routeserver
 
 import (
@@ -107,17 +119,115 @@ func (c Config) normalize() Config {
 }
 
 // cached is one route-cache entry, tagged with the generation whose
-// topology/policy state produced it.
+// topology/policy state produced it and carrying the route's dependency
+// footprint for the reverse index.
 type cached struct {
 	gen   uint64
 	path  ad.Path
 	found bool
+	fp    synthesis.Footprint
 }
 
-// shard is one lockable slice of the route cache.
+// shard is one lockable slice of the route cache plus the reverse
+// dependency index over its entries: byLink/byTerm map each footprint
+// element to the keys depending on it, and negs holds the keys of cached
+// negative ("no legal route") answers, which depend on the absence of
+// routes rather than on any particular link or term. All four structures
+// are maintained together under mu.
 type shard struct {
-	mu  sync.Mutex
-	lru *cache.LRU[Key, cached]
+	mu     sync.Mutex
+	lru    *cache.LRU[Key, cached]
+	byLink map[[2]ad.ID]map[Key]struct{}
+	byTerm map[policy.Key]map[Key]struct{}
+	negs   map[Key]struct{}
+}
+
+// index adds k's dependency edges. Caller holds mu.
+func (sh *shard) index(k Key, c cached) {
+	if !c.found {
+		sh.negs[k] = struct{}{}
+		return
+	}
+	for _, l := range c.fp.Links {
+		m := sh.byLink[l]
+		if m == nil {
+			m = make(map[Key]struct{})
+			sh.byLink[l] = m
+		}
+		m[k] = struct{}{}
+	}
+	for _, t := range c.fp.Terms {
+		m := sh.byTerm[t]
+		if m == nil {
+			m = make(map[Key]struct{})
+			sh.byTerm[t] = m
+		}
+		m[k] = struct{}{}
+	}
+}
+
+// unindex removes k's dependency edges. Caller holds mu.
+func (sh *shard) unindex(k Key, c cached) {
+	if !c.found {
+		delete(sh.negs, k)
+		return
+	}
+	for _, l := range c.fp.Links {
+		if m := sh.byLink[l]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(sh.byLink, l)
+			}
+		}
+	}
+	for _, t := range c.fp.Terms {
+		if m := sh.byTerm[t]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(sh.byTerm, t)
+			}
+		}
+	}
+}
+
+// evictScoped drops every entry the change can affect, resolved through
+// the reverse index, and returns the eviction count. Caller holds mu.
+func (sh *shard) evictScoped(c synthesis.Change) int {
+	victims := make(map[Key]struct{})
+	switch c.Kind {
+	case synthesis.ChangeLinkDown:
+		for k := range sh.byLink[synthesis.CanonicalPair(c.A, c.B)] {
+			victims[k] = struct{}{}
+		}
+	case synthesis.ChangePolicy:
+		if c.AllTerms {
+			for tk, keys := range sh.byTerm {
+				if tk.Advertiser == c.AD {
+					for k := range keys {
+						victims[k] = struct{}{}
+					}
+				}
+			}
+		} else {
+			for _, tk := range c.RemovedTerms {
+				for k := range sh.byTerm[tk] {
+					victims[k] = struct{}{}
+				}
+			}
+		}
+	}
+	if c.AffectsNegative() {
+		for k := range sh.negs {
+			victims[k] = struct{}{}
+		}
+	}
+	for k := range victims {
+		if ent, ok := sh.lru.Peek(k); ok {
+			sh.unindex(k, ent)
+			sh.lru.Delete(k)
+		}
+	}
+	return len(victims)
 }
 
 // call is one in-flight singleflight computation.
@@ -126,23 +236,29 @@ type call struct {
 	res Result
 }
 
-// sfKey scopes coalescing to a generation: a miss issued after an
-// invalidation never joins a computation started before it.
+// sfKey scopes coalescing to a mutation epoch: a miss issued after any
+// invalidation — full or scoped — never joins a computation started
+// before it. The epoch (unlike the cache generation) is bumped by scoped
+// mutations too, which is what keeps a post-mutation query from adopting
+// a pre-mutation in-flight result for a dependent key.
 type sfKey struct {
-	gen uint64
-	key Key
+	epoch uint64
+	key   Key
 }
 
 // Metrics is the server's atomic instrumentation. Read it via Snapshot.
 type Metrics struct {
-	queries       atomic.Uint64
-	hits          atomic.Uint64
-	misses        atomic.Uint64 // singleflight leaders = synthesis computations
-	coalesced     atomic.Uint64 // waiters served by another query's computation
-	failures      atomic.Uint64
-	evictions     atomic.Uint64
-	invalidations atomic.Uint64
-	latency       metrics.Histogram
+	queries         atomic.Uint64
+	hits            atomic.Uint64
+	misses          atomic.Uint64 // singleflight leaders = synthesis computations
+	coalesced       atomic.Uint64 // waiters served by another query's computation
+	failures        atomic.Uint64
+	evictions       atomic.Uint64
+	invalidations   atomic.Uint64
+	scopedMutations atomic.Uint64
+	scopedEvicted   atomic.Uint64
+	scopedRetained  atomic.Uint64
+	latency         metrics.Histogram
 }
 
 // MetricsSnapshot is a point-in-time copy of the server counters.
@@ -160,8 +276,16 @@ type MetricsSnapshot struct {
 	Failures uint64
 	// Evictions counts cache entries dropped for capacity.
 	Evictions uint64
-	// Invalidations counts generation bumps.
+	// Invalidations counts full generation bumps.
 	Invalidations uint64
+	// ScopedMutations counts MutateScoped calls that took the scoped
+	// (non-full) eviction path.
+	ScopedMutations uint64
+	// ScopedEvicted is the total entries evicted by scoped mutations.
+	ScopedEvicted uint64
+	// ScopedRetained is the total entries retained across scoped
+	// mutations (cache size summed after each scoped eviction).
+	ScopedRetained uint64
 	// Latency digests per-query serving latency.
 	Latency metrics.LatencySummary
 }
@@ -181,6 +305,7 @@ func (s MetricsSnapshot) HitRate() float64 {
 type Server struct {
 	cfg      Config
 	gen      atomic.Uint64
+	epoch    atomic.Uint64 // coalescing scope; bumped by full AND scoped mutations
 	shards   []shard
 	mask     uint32
 	met      Metrics
@@ -212,7 +337,14 @@ func New(strategy synthesis.Strategy, cfg Config) *Server {
 		perShard = 0 // unbounded
 	}
 	for i := range s.shards {
-		s.shards[i].lru = cache.NewLRU[Key, cached](perShard)
+		sh := &s.shards[i]
+		sh.lru = cache.NewLRU[Key, cached](perShard)
+		sh.byLink = make(map[[2]ad.ID]map[Key]struct{})
+		sh.byTerm = make(map[policy.Key]map[Key]struct{})
+		sh.negs = make(map[Key]struct{})
+		// Capacity evictions fire inside Put, i.e. under sh.mu: keep the
+		// reverse index in step with the LRU.
+		sh.lru.OnEvict = func(k Key, c cached) { sh.unindex(k, c) }
 	}
 	return s
 }
@@ -232,6 +364,7 @@ func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
 		return Result{}, false
 	}
 	if c.gen != gen {
+		sh.unindex(k, c)
 		sh.lru.Delete(k)
 		return Result{}, false
 	}
@@ -239,13 +372,18 @@ func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
 }
 
 // insert stores a computed result tagged with the generation it was
-// computed under.
-func (s *Server) insert(k Key, gen uint64, res Result) {
+// computed under and indexes its dependency footprint.
+func (s *Server) insert(k Key, gen uint64, res Result, fp synthesis.Footprint) {
 	sh := &s.shards[k.hash()&s.mask]
 	sh.mu.Lock()
-	if sh.lru.Put(k, cached{gen: gen, path: res.Path, found: res.Found}) {
+	if old, ok := sh.lru.Peek(k); ok {
+		sh.unindex(k, old)
+	}
+	ent := cached{gen: gen, path: res.Path, found: res.Found, fp: fp}
+	if sh.lru.Put(k, ent) {
 		s.met.evictions.Add(1)
 	}
+	sh.index(k, ent)
 	sh.mu.Unlock()
 }
 
@@ -265,7 +403,7 @@ func (s *Server) Query(req policy.Request) Result {
 		return res
 	}
 
-	res, leader := s.coalesce(sfKey{gen: gen, key: k}, req)
+	res, leader := s.coalesce(sfKey{epoch: s.epoch.Load(), key: k}, req)
 	if leader {
 		s.met.misses.Add(1)
 	} else {
@@ -304,7 +442,12 @@ func (s *Server) coalesce(key sfKey, req policy.Request) (Result, bool) {
 // compute runs one synthesis under a worker slot and the strategy lock,
 // then caches the result (negative results too — repeated queries for an
 // unroutable pair must not re-run the search) under the generation current
-// at computation time.
+// at computation time. The insert happens while still holding stratMu: a
+// scoped eviction also runs under stratMu, so every in-flight result is
+// either indexed before the eviction scans (and evicted if dependent) or
+// computed after the mutation (and already post-change) — never a stale
+// result landing behind a completed scoped eviction. Lock order is
+// stratMu → shard.mu, nowhere reversed.
 func (s *Server) compute(req policy.Request) Result {
 	s.workers <- struct{}{}
 	defer func() { <-s.workers }()
@@ -312,10 +455,13 @@ func (s *Server) compute(req policy.Request) Result {
 	s.stratMu.Lock()
 	gen := s.gen.Load() // the generation this computation's view belongs to
 	path, found := s.strategy.Route(req)
-	s.stratMu.Unlock()
-
 	res := Result{Path: path, Found: found}
-	s.insert(KeyOf(req), gen, res)
+	var fp synthesis.Footprint
+	if found {
+		fp = s.strategy.Footprint(req, path)
+	}
+	s.insert(KeyOf(req), gen, res, fp)
+	s.stratMu.Unlock()
 	return res
 }
 
@@ -328,19 +474,53 @@ func (s *Server) Invalidate() {
 }
 
 // Mutate applies fn — which may mutate the graph or policy database the
-// strategy synthesizes over — with exclusive access, then invalidates. Use
-// this for link failures and policy changes on a live server; queries that
-// hit the cache keep being served concurrently (from the pre-change
+// strategy synthesizes over — with exclusive access, then invalidates the
+// whole cache. Use this for unscoped changes on a live server; queries
+// that hit the cache keep being served concurrently (from the pre-change
 // generation) until the bump lands.
 func (s *Server) Mutate(fn func()) {
+	s.MutateScoped(synthesis.FullChange(), fn)
+}
+
+// MutateScoped applies fn with exclusive access, then evicts only the
+// cache entries the change can affect, resolved through the reverse
+// dependency index: routes crossing a failed link, routes admitted by a
+// removed or modified policy term, and — when the change broadens what is
+// routable (link restored, terms added) — cached negative answers.
+// Everything else keeps serving with zero recomputation. The wrapped
+// strategy gets the same change for partial invalidation of its own
+// tables. A ChangeFull falls back to the legacy full generation bump.
+//
+// Returns the evicted and retained entry counts (0, 0 for a full bump,
+// whose eviction is lazy).
+func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained int) {
 	s.stratMu.Lock()
 	defer s.stratMu.Unlock()
 	if fn != nil {
 		fn()
 	}
-	s.gen.Add(1)
-	s.strategy.Invalidate()
-	s.met.invalidations.Add(1)
+	if ch.Kind == synthesis.ChangeFull {
+		s.gen.Add(1)
+		s.epoch.Add(1)
+		s.strategy.Invalidate()
+		s.met.invalidations.Add(1)
+		return 0, 0
+	}
+	// New queries must not join pre-mutation in-flight computations; those
+	// finish under stratMu and are therefore indexed before this point.
+	s.epoch.Add(1)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		evicted += sh.evictScoped(ch)
+		retained += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	s.strategy.InvalidateScoped(ch)
+	s.met.scopedMutations.Add(1)
+	s.met.scopedEvicted.Add(uint64(evicted))
+	s.met.scopedRetained.Add(uint64(retained))
+	return evicted, retained
 }
 
 // StrategyStats returns the wrapped strategy's cumulative instrumentation.
@@ -369,13 +549,16 @@ func (s *Server) CacheLen() int {
 // Snapshot returns a point-in-time copy of the server metrics.
 func (s *Server) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Queries:       s.met.queries.Load(),
-		Hits:          s.met.hits.Load(),
-		Misses:        s.met.misses.Load(),
-		Coalesced:     s.met.coalesced.Load(),
-		Failures:      s.met.failures.Load(),
-		Evictions:     s.met.evictions.Load(),
-		Invalidations: s.met.invalidations.Load(),
-		Latency:       s.met.latency.Snapshot(),
+		Queries:         s.met.queries.Load(),
+		Hits:            s.met.hits.Load(),
+		Misses:          s.met.misses.Load(),
+		Coalesced:       s.met.coalesced.Load(),
+		Failures:        s.met.failures.Load(),
+		Evictions:       s.met.evictions.Load(),
+		Invalidations:   s.met.invalidations.Load(),
+		ScopedMutations: s.met.scopedMutations.Load(),
+		ScopedEvicted:   s.met.scopedEvicted.Load(),
+		ScopedRetained:  s.met.scopedRetained.Load(),
+		Latency:         s.met.latency.Snapshot(),
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/protocols/orwg"
 	"repro/internal/protocols/plaindv"
 	"repro/internal/sim"
+	"repro/internal/synthesis"
 	"repro/internal/topology"
 	"repro/internal/trafficgen"
 )
@@ -320,10 +321,15 @@ func (sc *Scenario) build() (*ad.Graph, *policy.DB, core.System, []policy.Reques
 }
 
 // Mutation is one compiled scenario event: Apply performs it against the
-// materialized graph and policy database.
+// materialized graph and policy database; Change describes the event for
+// scoped cache invalidation (routeserver.Server.MutateScoped). Policy
+// events compile to AD-level changes — the scenario schema replaces an
+// AD's whole term list, so term-level deltas are not known until Apply
+// runs.
 type Mutation struct {
-	Label string
-	Apply func()
+	Label  string
+	Apply  func()
+	Change synthesis.Change
 }
 
 // Mutations compiles the scenario's events into graph/policy closures, for
@@ -344,13 +350,15 @@ func (sc *Scenario) Mutations(g *ad.Graph, db *policy.DB) ([]Mutation, error) {
 			}
 			if ev.Action == "fail" {
 				out = append(out, Mutation{
-					Label: fmt.Sprintf("fail %v-%v", a, b),
-					Apply: func() { g.RemoveLink(a, b) },
+					Label:  fmt.Sprintf("fail %v-%v", a, b),
+					Apply:  func() { g.RemoveLink(a, b) },
+					Change: synthesis.LinkDownChange(a, b),
 				})
 			} else {
 				out = append(out, Mutation{
-					Label: fmt.Sprintf("restore %v-%v", a, b),
-					Apply: func() { _ = g.AddLink(link) },
+					Label:  fmt.Sprintf("restore %v-%v", a, b),
+					Apply:  func() { _ = g.AddLink(link) },
+					Change: synthesis.LinkUpChange(a, b),
 				})
 			}
 		case "update-policy":
@@ -363,8 +371,9 @@ func (sc *Scenario) Mutations(g *ad.Graph, db *policy.DB) ([]Mutation, error) {
 				terms[j] = ts.toTerm()
 			}
 			out = append(out, Mutation{
-				Label: fmt.Sprintf("update-policy %v", id),
-				Apply: func() { db.SetTerms(id, terms) },
+				Label:  fmt.Sprintf("update-policy %v", id),
+				Apply:  func() { db.SetTerms(id, terms) },
+				Change: synthesis.PolicyChangeAt(id),
 			})
 		default:
 			return nil, fmt.Errorf("scenario: event %d: unknown action %q", i+1, ev.Action)

@@ -1,0 +1,173 @@
+package synthesis
+
+import (
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// ChangeKind classifies a topology or policy mutation for scoped
+// invalidation. The zero value is ChangeFull, so an unannotated mutation
+// always falls back to the sound whole-cache path.
+type ChangeKind uint8
+
+const (
+	// ChangeFull is the unscoped fallback: anything may have changed, so
+	// every cached route is suspect.
+	ChangeFull ChangeKind = iota
+	// ChangeLinkDown removes the A-B link. Routes crossing it die; no
+	// route can be created, so negative results stay correct.
+	ChangeLinkDown
+	// ChangeLinkUp adds (or restores) the A-B link. Existing routes stay
+	// legal — though possibly no longer optimal — while unroutable pairs
+	// may have gained a route.
+	ChangeLinkUp
+	// ChangePolicy replaces terms at advertiser AD, described by the
+	// RemovedTerms/AllTerms/Broadens fields.
+	ChangePolicy
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeLinkDown:
+		return "link-down"
+	case ChangeLinkUp:
+		return "link-up"
+	case ChangePolicy:
+		return "policy"
+	default:
+		return "full"
+	}
+}
+
+// Change is a scoped-invalidation descriptor: it tells caches which of
+// their entries a mutation can have affected, so everything else may keep
+// serving. The retention contract is legality, not optimality: a retained
+// positive entry is still a legal route under the post-change state, but a
+// ChangeLinkUp or a broadening policy change may have created a cheaper
+// one; callers that need optimality back issue a full invalidation.
+type Change struct {
+	Kind ChangeKind
+	// A, B are the link endpoints for ChangeLinkDown / ChangeLinkUp.
+	A, B ad.ID
+	// AD is the advertiser for ChangePolicy.
+	AD ad.ID
+	// RemovedTerms lists the term keys dropped or modified by a
+	// ChangePolicy: routes admitted by one of them must go.
+	RemovedTerms []policy.Key
+	// AllTerms widens a ChangePolicy to every term of AD, for callers
+	// that know only "this AD's policy changed" (scenario timelines).
+	AllTerms bool
+	// Broadens reports whether the change can admit routes that did not
+	// exist before (terms added or modified); it forces negative entries
+	// out. Link restorations broaden by construction.
+	Broadens bool
+}
+
+// LinkDownChange describes the removal of the a-b link.
+func LinkDownChange(a, b ad.ID) Change {
+	return Change{Kind: ChangeLinkDown, A: a, B: b}
+}
+
+// LinkUpChange describes the addition or restoration of the a-b link.
+func LinkUpChange(a, b ad.ID) Change {
+	return Change{Kind: ChangeLinkUp, A: a, B: b, Broadens: true}
+}
+
+// PolicyChangeOf describes a term replacement at delta.AD with term-level
+// precision (see policy.DB.SetTerms / DiffTerms).
+func PolicyChangeOf(delta policy.TermsDelta) Change {
+	return Change{
+		Kind:         ChangePolicy,
+		AD:           delta.AD,
+		RemovedTerms: delta.Removed,
+		Broadens:     delta.Broadens,
+	}
+}
+
+// FullChange describes an unscoped mutation: every cached route is
+// suspect.
+func FullChange() Change { return Change{Kind: ChangeFull} }
+
+// PolicyChangeAt describes "some terms at id changed" with AD-level
+// precision: every route transiting id is suspect, and new routes may
+// exist.
+func PolicyChangeAt(id ad.ID) Change {
+	return Change{Kind: ChangePolicy, AD: id, AllTerms: true, Broadens: true}
+}
+
+// AffectsPath reports whether the change can invalidate the legality of an
+// existing route. Strategies apply it at AD granularity (a ChangePolicy
+// taints every route transiting the AD); the serving cache refines
+// ChangePolicy to the recorded term keys via its reverse index.
+func (c Change) AffectsPath(p ad.Path) bool {
+	switch c.Kind {
+	case ChangeLinkDown:
+		return p.CrossesLink(c.A, c.B)
+	case ChangeLinkUp:
+		// A new link cannot break an existing route.
+		return false
+	case ChangePolicy:
+		return p.Transits(c.AD)
+	default:
+		return true
+	}
+}
+
+// AffectsNegative reports whether the change can make a previously
+// unroutable request routable, i.e. whether cached negative results must
+// be dropped.
+func (c Change) AffectsNegative() bool {
+	switch c.Kind {
+	case ChangeLinkDown:
+		return false
+	case ChangeLinkUp:
+		return true
+	case ChangePolicy:
+		return c.Broadens
+	default:
+		return true
+	}
+}
+
+// Footprint is the dependency set of one synthesized route: the
+// adjacencies it traverses (canonical low-high pairs) and the key of the
+// cheapest permitting term at each transit AD. The route stays legal
+// exactly as long as every listed link is up and every listed term still
+// admits it, so an index over these two sets supports precise eviction.
+// Negative results have an empty footprint; caches index them by their
+// request key instead.
+type Footprint struct {
+	Links [][2]ad.ID
+	Terms []policy.Key
+}
+
+// FootprintOf derives the footprint of a found route. It re-resolves the
+// cheapest permitting term at each transit AD, which is the term whose
+// cost the synthesis charged; a change to any other term at that AD
+// cannot make the path illegal (some term still permits it) — only
+// cheaper, which the legality retention contract tolerates.
+func FootprintOf(g *ad.Graph, db *policy.DB, req policy.Request, path ad.Path) Footprint {
+	if len(path) < 2 {
+		return Footprint{}
+	}
+	fp := Footprint{Links: make([][2]ad.ID, 0, len(path)-1)}
+	for i := 1; i < len(path); i++ {
+		fp.Links = append(fp.Links, CanonicalPair(path[i-1], path[i]))
+	}
+	for i := 1; i < len(path)-1; i++ {
+		if t, ok := db.PermitsTransit(path[i], req, path[i-1], path[i+1]); ok {
+			fp.Terms = append(fp.Terms, t.Key())
+		}
+	}
+	return fp
+}
+
+// CanonicalPair orders an adjacency low-high so both directions of a link
+// index to the same slot.
+func CanonicalPair(a, b ad.ID) [2]ad.ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ad.ID{a, b}
+}

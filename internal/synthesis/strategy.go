@@ -42,8 +42,48 @@ type Strategy interface {
 	Stats() StrategyStats
 	// Invalidate discards cached state after a topology/policy change.
 	Invalidate()
+	// InvalidateScoped discards only cached state the change can affect;
+	// a ChangeFull is equivalent to Invalidate. Recompute work is charged
+	// to PrecomputeExpansions.
+	InvalidateScoped(c Change)
+	// Footprint reports the dependency set of a route this strategy
+	// returned for req.
+	Footprint(req policy.Request, path ad.Path) Footprint
 	// Name identifies the strategy in reports.
 	Name() string
+}
+
+// refill reconciles one table entry with a scoped change: entries the
+// change cannot touch are kept as-is; affected entries are recomputed in
+// place (deleted if the route vanished), and absent entries are computed
+// when the change broadens what is routable. Returns the search work done.
+func refill(g *ad.Graph, db *policy.DB, table map[cacheKey]ad.Path, req policy.Request, c Change) int {
+	k := keyOf(req)
+	p, exists := table[k]
+	if exists && !c.AffectsPath(p) {
+		return 0
+	}
+	if !exists && !c.AffectsNegative() {
+		return 0
+	}
+	res := FindRoute(g, db, req)
+	if res.Found {
+		table[k] = res.Path
+	} else {
+		delete(table, k)
+	}
+	return res.Expanded
+}
+
+// dropAffected evicts demand-cached routes the change can affect. Demand
+// caches hold positive results only, so AffectsNegative is moot here: a
+// dropped key is simply recomputed on next demand.
+func dropAffected(demand *cache.LRU[cacheKey, ad.Path], c Change) {
+	for _, k := range demand.Keys() {
+		if p, ok := demand.Peek(k); ok && c.AffectsPath(p) {
+			demand.Delete(k)
+		}
+	}
 }
 
 // OnDemand computes every route at request time: minimal state, maximal
@@ -80,6 +120,18 @@ func (s *OnDemand) Stats() StrategyStats { return s.stats }
 
 // Invalidate implements Strategy (no cached state).
 func (s *OnDemand) Invalidate() { s.stats = carryForward(s.stats) }
+
+// InvalidateScoped implements Strategy (no cached state to scope).
+func (s *OnDemand) InvalidateScoped(c Change) {
+	if c.Kind == ChangeFull {
+		s.Invalidate()
+	}
+}
+
+// Footprint implements Strategy.
+func (s *OnDemand) Footprint(req policy.Request, path ad.Path) Footprint {
+	return FootprintOf(s.g, s.db, req, path)
+}
 
 // cacheKey identifies a precomputed route. Hour is quantized out: routes
 // are recomputed only when term windows change legality, which the
@@ -150,6 +202,24 @@ func (s *Precomputed) Stats() StrategyStats {
 func (s *Precomputed) Invalidate() {
 	s.stats = carryForward(s.stats)
 	s.build()
+}
+
+// InvalidateScoped recomputes only the population entries the change can
+// affect; the rest of the table keeps serving untouched.
+func (s *Precomputed) InvalidateScoped(c Change) {
+	if c.Kind == ChangeFull {
+		s.Invalidate()
+		return
+	}
+	for _, req := range s.reqs {
+		s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+	}
+	s.stats.CacheEntries = len(s.table)
+}
+
+// Footprint implements Strategy.
+func (s *Precomputed) Footprint(req policy.Request, path ad.Path) Footprint {
+	return FootprintOf(s.g, s.db, req, path)
 }
 
 // PrunedConfig parameterizes the pruned-precompute strategy.
@@ -302,6 +372,45 @@ func (s *Pruned) Invalidate() {
 	s.build()
 }
 
+// InvalidateScoped refills only the affected slice of the post-change
+// neighbourhood population. Table entries that fell outside the
+// neighbourhood (a removed link can shrink it) are retained while legal —
+// the contract is legality, not population membership — and dropped when
+// the change touches them, leaving the demand path to recompute.
+func (s *Pruned) InvalidateScoped(c Change) {
+	if c.Kind == ChangeFull {
+		s.Invalidate()
+		return
+	}
+	seen := make(map[cacheKey]bool, len(s.table))
+	for _, src := range s.srcs {
+		for _, dst := range s.withinRadius(src, s.cfg.HopRadius) {
+			for qos := 0; qos < s.cfg.QOSClasses; qos++ {
+				for uci := 0; uci < s.cfg.UCIClasses; uci++ {
+					req := policy.Request{
+						Src: src, Dst: dst, Hour: 12,
+						QOS: policy.QOS(qos), UCI: policy.UCI(uci),
+					}
+					seen[keyOf(req)] = true
+					s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+				}
+			}
+		}
+	}
+	for k, p := range s.table {
+		if !seen[k] && c.AffectsPath(p) {
+			delete(s.table, k)
+		}
+	}
+	dropAffected(s.demand, c)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+}
+
+// Footprint implements Strategy.
+func (s *Pruned) Footprint(req policy.Request, path ad.Path) Footprint {
+	return FootprintOf(s.g, s.db, req, path)
+}
+
 // Hybrid precomputes routes for a hot set of requests and falls back to
 // on-demand computation (with caching, bounded by the demand cap) for the
 // rest — the combination the paper recommends (§5.4.1: "a combination of
@@ -381,4 +490,23 @@ func (s *Hybrid) Invalidate() {
 	s.stats = carryForward(s.stats)
 	s.demand.Purge()
 	s.build()
+}
+
+// InvalidateScoped refills affected hot-set entries and evicts only the
+// affected demand fills; unaffected entries keep serving.
+func (s *Hybrid) InvalidateScoped(c Change) {
+	if c.Kind == ChangeFull {
+		s.Invalidate()
+		return
+	}
+	for _, req := range s.hot {
+		s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+	}
+	dropAffected(s.demand, c)
+	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+}
+
+// Footprint implements Strategy.
+func (s *Hybrid) Footprint(req policy.Request, path ad.Path) Footprint {
+	return FootprintOf(s.g, s.db, req, path)
 }
