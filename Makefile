@@ -31,9 +31,9 @@ bench:
 
 # bench-smoke runs every benchmark exactly once — CI uses it to catch
 # benchmarks that no longer compile or that crash, without paying for
-# real measurement. BenchmarkE20RouteServer and
-# BenchmarkE22ScopedInvalidation also emit BENCH_*.json reports
-# (untracked) as a machine-readable side effect.
+# real measurement. BenchmarkE20RouteServer, BenchmarkE22ScopedInvalidation,
+# and BenchmarkDaemonChurn also emit BENCH_*.json reports (untracked) as a
+# machine-readable side effect.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 

@@ -2,7 +2,7 @@
 // query engine — sharded route cache, request coalescing, generation-based
 // invalidation — wrapped around a route-synthesis strategy.
 //
-// Two modes:
+// Three modes:
 //
 //   - Line mode (default): reads queries from stdin, one per line
 //     ("SRC DST [QOS UCI HOUR]"), answers each, and accepts the commands
@@ -17,10 +17,21 @@
 //     lifecycle (-state hard|soft|capped, -state-ttl, -state-cap)
 //     follows §6.
 //
+//   - Daemon mode (-listen addr and/or -unix path): serves the same
+//     commands as a network daemon speaking the framed binary protocol of
+//     internal/wire over TCP or a unix socket — per-connection sessions,
+//     bounded write queues with slow-client eviction (-write-queue,
+//     -write-timeout), and a connection limit (-max-conns). SIGINT,
+//     SIGTERM, or a Drain protocol message triggers a graceful drain:
+//     stop accepting, finish in-flight requests, flush replies, close.
+//
 //   - Load mode (-load): replays a synthetic workload (uniform / Zipf /
 //     gravity) from -clients concurrent goroutines, optionally injecting
 //     churn mid-run (-churn, or a -scenario file's event timeline), then
 //     prints a serving report. -bench-json writes it machine-readably.
+//     With -connect addr the workload is instead replayed over the wire
+//     against a running daemon, one connection per client, with optional
+//     connection churn (-reconnect-every).
 //
 // The internet is either generated (-seed and the topology defaults shared
 // with the experiment harness) or taken from a -scenario file, in which case
@@ -42,9 +53,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"runtime"
@@ -55,11 +69,13 @@ import (
 	"repro/internal/pgstate"
 	"repro/internal/policy"
 	"repro/internal/routeserver"
+	"repro/internal/routeserver/daemon"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/topology"
 	"repro/internal/trafficgen"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -68,26 +84,33 @@ func main() {
 
 func run() int {
 	var (
-		scenarioPath = flag.String("scenario", "", "scenario file supplying topology, policy, workload, and churn events")
-		seed         = flag.Int64("seed", 42, "seed for the generated internet and workload")
-		strategy     = flag.String("strategy", "on-demand", "synthesis strategy: on-demand, precomputed, hybrid, pruned")
-		cacheCap     = flag.Int("cache", 0, "server route-cache capacity in entries (0 = default, <0 = unbounded)")
-		shards       = flag.Int("shards", 0, "cache shard count, rounded up to a power of two (0 = default)")
-		workers      = flag.Int("workers", 0, "max concurrent synthesis computations (0 = GOMAXPROCS)")
-		load         = flag.Bool("load", false, "run the load generator instead of reading stdin")
-		clients      = flag.Int("clients", 4, "concurrent client goroutines in load mode")
-		requests     = flag.Int("requests", 2000, "workload length in load mode (ignored with -scenario)")
-		model        = flag.String("model", "zipf", "workload model in load mode: uniform, zipf, gravity")
-		zipfS        = flag.Float64("zipf", 1.4, "Zipf skew for -model zipf")
-		qosClasses   = flag.Int("qos", 2, "QOS classes in the workload and precomputation")
-		uciClasses   = flag.Int("uci", 2, "UCI classes in the workload and precomputation")
-		churn        = flag.Bool("churn", false, "load mode: fail a lateral link at 40% and restore it at 70% of the run")
-		benchJSON    = flag.String("bench-json", "", "load mode: also write the report as JSON to this file")
-		stateKind    = flag.String("state", "hard", "PG handle lifecycle for installed routes: hard, soft, capped")
-		stateTTL     = flag.Duration("state-ttl", 30*time.Second, "soft-state TTL in simulated time (-state soft)")
-		stateCap     = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
-		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		scenarioPath   = flag.String("scenario", "", "scenario file supplying topology, policy, workload, and churn events")
+		seed           = flag.Int64("seed", 42, "seed for the generated internet and workload")
+		strategy       = flag.String("strategy", "on-demand", "synthesis strategy: on-demand, precomputed, hybrid, pruned")
+		cacheCap       = flag.Int("cache", 0, "server route-cache capacity in entries (0 = default, <0 = unbounded)")
+		shards         = flag.Int("shards", 0, "cache shard count, rounded up to a power of two (0 = default)")
+		workers        = flag.Int("workers", 0, "max concurrent synthesis computations (0 = GOMAXPROCS)")
+		load           = flag.Bool("load", false, "run the load generator instead of reading stdin")
+		clients        = flag.Int("clients", 4, "concurrent client goroutines in load mode")
+		requests       = flag.Int("requests", 2000, "workload length in load mode (ignored with -scenario)")
+		model          = flag.String("model", "zipf", "workload model in load mode: uniform, zipf, gravity")
+		zipfS          = flag.Float64("zipf", 1.4, "Zipf skew for -model zipf")
+		qosClasses     = flag.Int("qos", 2, "QOS classes in the workload and precomputation")
+		uciClasses     = flag.Int("uci", 2, "UCI classes in the workload and precomputation")
+		churn          = flag.Bool("churn", false, "load mode: fail a lateral link at 40% and restore it at 70% of the run")
+		benchJSON      = flag.String("bench-json", "", "load mode: also write the report as JSON to this file")
+		listenAddr     = flag.String("listen", "", "serve the binary protocol on this TCP address (daemon mode)")
+		unixPath       = flag.String("unix", "", "serve the binary protocol on this unix socket path (daemon mode)")
+		connectAddr    = flag.String("connect", "", "load mode: drive a running daemon at this address instead of serving in-process (host:port, or a unix socket path containing '/')")
+		maxConns       = flag.Int("max-conns", 0, "daemon mode: concurrent connection limit (0 = default 2048)")
+		writeQueue     = flag.Int("write-queue", 0, "daemon mode: per-session reply queue length (0 = default 128)")
+		writeTimeout   = flag.Duration("write-timeout", 0, "daemon mode: slow-client grace before eviction (0 = default 2s)")
+		reconnectEvery = flag.Int("reconnect-every", 0, "load mode with -connect: each client redials after this many requests (0 = never)")
+		stateKind      = flag.String("state", "hard", "PG handle lifecycle for installed routes: hard, soft, capped")
+		stateTTL       = flag.Duration("state-ttl", 30*time.Second, "soft-state TTL in simulated time (-state soft)")
+		stateCap       = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
+		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile     = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -120,6 +143,32 @@ func run() int {
 	}
 	defer stopProfiles()
 
+	if *load && *connectAddr != "" {
+		// Network load mode: drive a running daemon over the wire. The
+		// workload (and the -churn timeline) is regenerated locally from the
+		// same seed, so client and daemon agree on the topology.
+		var events []daemon.ChurnEvent
+		if *churn {
+			events = wireChurnEvents(g)
+		}
+		rep := daemon.LoadRun(networkOf(*connectAddr), *connectAddr, workload, daemon.LoadConfig{
+			Clients:        *clients,
+			ReconnectEvery: *reconnectEvery,
+			Events:         events,
+		})
+		printNetReport(os.Stdout, rep)
+		if *benchJSON != "" {
+			if err := writeNetJSON(*benchJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		if rep.Errors > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	if *load {
 		if *churn {
 			events = append(events, churnEvents(g)...)
@@ -135,8 +184,126 @@ func run() int {
 		return 0
 	}
 
-	serve(os.Stdin, os.Stdout, srv, dp, g, db)
+	be := daemon.NewBackend(srv, dp, g, db)
+
+	if *listenAddr != "" || *unixPath != "" {
+		return runDaemon(be, *listenAddr, *unixPath, daemon.Config{
+			MaxConns:     *maxConns,
+			WriteQueue:   *writeQueue,
+			WriteTimeout: *writeTimeout,
+		})
+	}
+
+	if err := serve(os.Stdin, os.Stdout, be); err != nil {
+		return 1
+	}
 	return 0
+}
+
+// runDaemon serves the binary protocol on the requested listeners until a
+// drain completes — triggered by SIGINT/SIGTERM or a Drain protocol
+// message. In-flight requests finish and their replies flush before the
+// connections close.
+func runDaemon(be *daemon.Backend, tcpAddr, unixPath string, cfg daemon.Config) int {
+	d := daemon.New(be, cfg)
+	var listeners []net.Listener
+	if tcpAddr != "" {
+		ln, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		listeners = append(listeners, ln)
+	}
+	if unixPath != "" {
+		ln, err := net.Listen("unix", unixPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		listeners = append(listeners, ln)
+	}
+	for _, ln := range listeners {
+		fmt.Printf("listening on %v\n", ln.Addr())
+		go func(ln net.Listener) {
+			if err := d.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}(ln)
+	}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigC
+		signal.Stop(sigC)
+		d.Drain()
+	}()
+
+	<-d.Done()
+	m := d.Metrics()
+	fmt.Printf("drained: %d sessions served, %d requests, %d refused, %d evicted\n",
+		m.Accepted, m.Requests, m.Refused, m.Evicted)
+	return 0
+}
+
+// networkOf picks the dial network for a -connect address: a path-looking
+// address means a unix socket, anything else TCP.
+func networkOf(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// wireChurnEvents is -churn for network load mode: the same lateral-link
+// fail/restore timeline as churnEvents, expressed as protocol messages.
+func wireChurnEvents(g *ad.Graph) []daemon.ChurnEvent {
+	links := g.Links()
+	if len(links) == 0 {
+		return nil
+	}
+	target := links[0]
+	for _, l := range links {
+		if l.Class == ad.Lateral {
+			target = l
+			break
+		}
+	}
+	return []daemon.ChurnEvent{
+		{After: 0.4, Op: wire.CtlFail, A: target.A, B: target.B},
+		{After: 0.7, Op: wire.CtlRestore, A: target.A, B: target.B},
+	}
+}
+
+// printNetReport renders a network load-mode report.
+func printNetReport(w io.Writer, rep daemon.LoadReport) {
+	fmt.Fprintf(w, "requests    %d (%d served, %d no-route, %d errors)\n",
+		rep.Requests, rep.Served, rep.NoRoute, rep.Errors)
+	fmt.Fprintf(w, "elapsed     %v (%.0f qps)\n", rep.Elapsed, rep.QPS)
+	fmt.Fprintf(w, "churn       %d reconnects\n", rep.Reconnects)
+	fmt.Fprintf(w, "latency     p50 %v  p95 %v  p99 %v\n",
+		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+}
+
+// writeNetJSON writes the machine-readable form of a network load report.
+func writeNetJSON(path string, rep daemon.LoadReport) error {
+	out, err := json.MarshalIndent(map[string]any{
+		"requests":    rep.Requests,
+		"served":      rep.Served,
+		"no_route":    rep.NoRoute,
+		"errors":      rep.Errors,
+		"reconnects":  rep.Reconnects,
+		"elapsed_ns":  rep.Elapsed.Nanoseconds(),
+		"qps":         rep.QPS,
+		"latency_p50": rep.Latency.P50.Nanoseconds(),
+		"latency_p95": rep.Latency.P95.Nanoseconds(),
+		"latency_p99": rep.Latency.P99.Nanoseconds(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // startProfiles begins CPU profiling and arranges a heap snapshot at stop
@@ -345,24 +512,35 @@ func writeJSON(path string, srv *routeserver.Server, rep routeserver.Report) err
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// maxLineBytes bounds one line-mode input line (bufio.Scanner's 64KB
+// default is too small for scripted sessions with long comment or batch
+// lines).
+const maxLineBytes = 1 << 20
+
 // serve runs line mode: one query or command per stdin line. It is
 // factored over io.Reader/io.Writer so tests can script a full session.
-func serve(in io.Reader, out io.Writer, srv *routeserver.Server, dp *routeserver.DataPlane, g *ad.Graph, db *policy.DB) {
-	// Links removed by "fail" are remembered so "restore" can re-add them
-	// with their original class and cost.
-	removed := map[[2]ad.ID]ad.Link{}
+// A read error — including a line over maxLineBytes — is surfaced on out
+// and returned; it must not masquerade as a clean quit.
+func serve(in io.Reader, out io.Writer, be *daemon.Backend) error {
 	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	for sc.Scan() {
-		if !serveLine(sc.Text(), out, srv, dp, g, db, removed) {
-			return
+		if !serveLine(sc.Text(), out, be) {
+			return nil
 		}
 	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(out, "read error: %v\n", err)
+		return err
+	}
+	return nil
 }
 
-// serveLine executes one line-mode command, reporting whether the session
-// continues.
-func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeserver.DataPlane,
-	g *ad.Graph, db *policy.DB, removed map[[2]ad.ID]ad.Link) bool {
+// serveLine executes one line-mode command against the shared backend —
+// the same dispatch the binary protocol uses — reporting whether the
+// session continues. The text in and out is the only thing this adapter
+// owns.
+func serveLine(line string, out io.Writer, be *daemon.Backend) bool {
 	line = strings.TrimSpace(line)
 	if line == "" || strings.HasPrefix(line, "#") {
 		return true
@@ -372,9 +550,9 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 	case "quit", "exit":
 		return false
 	case "stats":
-		m := srv.Snapshot()
+		st := be.Stats()
 		fmt.Fprintf(out, "gen %d: %d queries, %d hits, %d coalesced, %d misses, %d failures, %d cached\n",
-			srv.Generation(), m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, srv.CacheLen())
+			st.Gen, st.Queries, st.Hits, st.Coalesced, st.Misses, st.Failures, st.Cached)
 	case "fail", "restore":
 		a, b, ok := twoIDs(fields[1:])
 		if !ok {
@@ -383,29 +561,25 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 		}
 		var evicted, retained int
 		if fields[0] == "fail" {
-			link, found := linkOf(g, a, b)
-			if !found {
-				fmt.Fprintf(out, "no link %v-%v\n", a, b)
+			var flushed int
+			var err error
+			evicted, retained, flushed, err = be.Fail(a, b)
+			if err != nil {
+				fmt.Fprintln(out, err)
 				return true
 			}
-			removed[[2]ad.ID{link.A, link.B}] = link
-			evicted, retained = srv.MutateScoped(
-				synthesis.LinkDownChange(a, b), func() { g.RemoveLink(a, b) })
 			// Failure-driven repair: flush installed handle state that
 			// crossed the dead link and queue its flows for "repair".
-			if flushed := dp.InvalidateLink(a, b); flushed > 0 {
+			if flushed > 0 {
 				fmt.Fprintf(out, "flushed %d handle entries\n", flushed)
 			}
 		} else {
-			key := ad.Link{A: a, B: b}.Canonical()
-			link, found := removed[[2]ad.ID{key.A, key.B}]
-			if !found {
-				fmt.Fprintf(out, "link %v-%v was not failed here\n", a, b)
+			var err error
+			evicted, retained, err = be.Restore(a, b)
+			if err != nil {
+				fmt.Fprintln(out, err)
 				return true
 			}
-			delete(removed, [2]ad.ID{key.A, key.B})
-			evicted, retained = srv.MutateScoped(
-				synthesis.LinkUpChange(a, b), func() { _ = g.AddLink(link) })
 		}
 		fmt.Fprintf(out, "ok (evicted %d, retained %d)\n", evicted, retained)
 	case "policy":
@@ -415,18 +589,12 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			fmt.Fprintln(out, "usage: policy AD COST")
 			return true
 		}
-		term := policy.OpenTerm(a, 0)
-		term.Cost = uint32(c)
-		// Diff before applying so the eviction is scoped to the term keys
-		// that actually changed.
-		ch := synthesis.PolicyChangeOf(db.DiffTerms(a, []policy.Term{term}))
-		evicted, retained := srv.MutateScoped(ch, func() { db.SetTerms(a, []policy.Term{term}) })
+		evicted, retained := be.SetPolicy(a, uint32(c))
 		fmt.Fprintf(out, "ok (evicted %d, retained %d)\n", evicted, retained)
 	case "invalidate":
 		// Full generation bump: drops every cached route, restoring
 		// optimality after scoped retentions.
-		srv.Invalidate()
-		fmt.Fprintf(out, "ok (gen %d)\n", srv.Generation())
+		fmt.Fprintf(out, "ok (gen %d)\n", be.Invalidate())
 	case "install":
 		// install SRC DST [QOS UCI HOUR]: serve a route and install it as
 		// PG handle state so data can flow over it.
@@ -435,13 +603,12 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			fmt.Fprintln(out, "usage: install SRC DST [QOS UCI HOUR]")
 			return true
 		}
-		res := srv.Query(req)
-		if !res.Found {
+		h, path, found := be.Install(req)
+		if !found {
 			fmt.Fprintf(out, "no-route %v\n", req)
 			return true
 		}
-		h := dp.Install(req, res.Path)
-		fmt.Fprintf(out, "handle %d via %v\n", h, res.Path)
+		fmt.Fprintf(out, "handle %d via %v\n", h, path)
 	case "send":
 		// send HANDLE: forward one data packet over installed state.
 		if len(fields) != 2 {
@@ -453,7 +620,7 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			fmt.Fprintf(out, "bad handle %q\n", fields[1])
 			return true
 		}
-		switch r := dp.Send(h); {
+		switch r := be.Send(h); {
 		case r.Delivered:
 			fmt.Fprintln(out, "delivered")
 		case r.MissAt != 0:
@@ -462,7 +629,7 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			fmt.Fprintf(out, "unknown handle %d\n", h)
 		}
 	case "refresh":
-		refreshed, failed := dp.RefreshAll()
+		refreshed, failed := be.Refresh()
 		fmt.Fprintf(out, "refreshed %d flows, %d lost state\n", refreshed, failed)
 	case "tick":
 		// tick SECONDS: advance the data plane's soft-state clock.
@@ -475,20 +642,20 @@ func serveLine(line string, out io.Writer, srv *routeserver.Server, dp *routeser
 			}
 			secs = v
 		}
-		expired := dp.Tick(sim.Time(secs) * sim.Second)
-		fmt.Fprintf(out, "t=%ds, %d entries expired\n", int64(dp.Now()/sim.Second), expired)
+		now, expired := be.Tick(secs)
+		fmt.Fprintf(out, "t=%ds, %d entries expired\n", now, expired)
 	case "repair":
-		attempted, repaired := dp.Repair(srv)
+		attempted, repaired := be.Repair()
 		fmt.Fprintf(out, "repaired %d/%d flows\n", repaired, attempted)
 	case "state":
-		fmt.Fprintln(out, dp.Metrics())
+		fmt.Fprintln(out, be.State())
 	default:
 		req, err := parseQuery(fields)
 		if err != nil {
 			fmt.Fprintln(out, err)
 			return true
 		}
-		res := srv.Query(req)
+		res := be.Query(req)
 		if res.Found {
 			fmt.Fprintf(out, "%v\n", res.Path)
 		} else {
@@ -536,15 +703,4 @@ func twoIDs(fields []string) (ad.ID, ad.ID, bool) {
 		return 0, 0, false
 	}
 	return ad.ID(a), ad.ID(b), true
-}
-
-// linkOf returns the graph's link between a and b, if present.
-func linkOf(g *ad.Graph, a, b ad.ID) (ad.Link, bool) {
-	want := ad.Link{A: a, B: b}.Canonical()
-	for _, l := range g.Links() {
-		if l.A == want.A && l.B == want.B {
-			return l, true
-		}
-	}
-	return ad.Link{}, false
 }

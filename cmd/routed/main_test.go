@@ -11,6 +11,7 @@ import (
 	"repro/internal/pgstate"
 	"repro/internal/policy"
 	"repro/internal/routeserver"
+	"repro/internal/routeserver/daemon"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 )
@@ -44,7 +45,9 @@ func session(t *testing.T, input string) string {
 	t.Helper()
 	g, db, srv, dp := testWorld(t)
 	var out strings.Builder
-	serve(strings.NewReader(input), &out, srv, dp, g, db)
+	if err := serve(strings.NewReader(input), &out, daemon.NewBackend(srv, dp, g, db)); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
 	return out.String()
 }
 
@@ -277,22 +280,5 @@ func TestBuildStrategyKinds(t *testing.T) {
 		if path, found := st.Route(policy.Request{Src: 1, Dst: 4}); !found || len(path) == 0 {
 			t.Errorf("%s: no route served", kind)
 		}
-	}
-}
-
-func TestLinkOf(t *testing.T) {
-	g := ad.NewGraph()
-	a := g.AddAD("a", ad.Stub, ad.Campus)
-	b := g.AddAD("b", ad.Stub, ad.Campus)
-	if err := g.AddLink(ad.Link{A: a, B: b, Cost: 3}); err != nil {
-		t.Fatal(err)
-	}
-	// Link lookup is order-insensitive: the graph stores the canonical form.
-	l, ok := linkOf(g, b, a)
-	if !ok || l.Cost != 3 {
-		t.Errorf("linkOf(b, a) = %+v %v", l, ok)
-	}
-	if _, ok := linkOf(g, a, 99); ok {
-		t.Error("linkOf found a nonexistent link")
 	}
 }

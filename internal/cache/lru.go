@@ -143,6 +143,17 @@ func (l *LRU[K, V]) Keys() []K {
 	return out
 }
 
+// Range calls fn for each live entry in recency order (most recently used
+// first) without touching recency, stopping early if fn returns false. fn
+// must not mutate the LRU.
+func (l *LRU[K, V]) Range(fn func(K, V) bool) {
+	for e := l.head; e != nil; e = e.next {
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
 // Len returns the number of live entries.
 func (l *LRU[K, V]) Len() int { return len(l.entries) }
 

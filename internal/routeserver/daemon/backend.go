@@ -1,0 +1,185 @@
+// Package daemon makes the route-server serving layer (§5.4) a real
+// network daemon: per-connection sessions speaking the framed binary
+// protocol of internal/wire (route queries, control-plane mutations,
+// data-plane operations, stats, graceful drain) over TCP or unix sockets,
+// with bounded per-session write queues, slow-client eviction, connection
+// limits, and drain semantics (stop accepting, finish in-flight requests,
+// flush replies, close).
+//
+// The command dispatch itself lives in Backend, shared by the binary
+// protocol and cmd/routed's stdin line mode, so both front ends execute
+// identical operations against the same serving state — the session-parity
+// test in cmd/routed pins this.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/sim"
+	"repro/internal/synthesis"
+)
+
+// Backend bundles the serving state one daemon (or line-mode session)
+// operates on and dispatches every protocol command against it. Queries
+// and data-plane operations are safe for any number of concurrent
+// sessions (Server and DataPlane synchronize internally); control-plane
+// mutations are serialized by the backend's own lock, which also protects
+// the failed-link memory and makes graph reads in control handlers safe
+// against concurrent mutation (all graph writes happen under this lock,
+// inside MutateScoped's exclusive section).
+type Backend struct {
+	srv *routeserver.Server
+	dp  *routeserver.DataPlane
+	g   *ad.Graph
+	db  *policy.DB
+
+	mu sync.Mutex
+	// removed remembers links taken down by Fail so Restore can re-add
+	// them with their original class and cost.
+	removed map[[2]ad.ID]ad.Link
+}
+
+// Stats is the serving-counter snapshot the stats command reports.
+type Stats struct {
+	Gen       uint64
+	Queries   uint64
+	Hits      uint64
+	Coalesced uint64
+	Misses    uint64
+	Failures  uint64
+	Cached    int
+}
+
+// NewBackend wires a backend over the serving stack.
+func NewBackend(srv *routeserver.Server, dp *routeserver.DataPlane, g *ad.Graph, db *policy.DB) *Backend {
+	return &Backend{
+		srv: srv, dp: dp, g: g, db: db,
+		removed: make(map[[2]ad.ID]ad.Link),
+	}
+}
+
+// Server returns the wrapped route server.
+func (b *Backend) Server() *routeserver.Server { return b.srv }
+
+// Query answers one route request.
+func (b *Backend) Query(req policy.Request) routeserver.Result {
+	return b.srv.Query(req)
+}
+
+// Fail takes the x-y link down: scoped cache invalidation, then a flush of
+// installed handle state crossing the link (failure-driven repair).
+func (b *Backend) Fail(x, y ad.ID) (evicted, retained, flushed int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	link, found := linkOf(b.g, x, y)
+	if !found {
+		return 0, 0, 0, fmt.Errorf("no link %v-%v", x, y)
+	}
+	b.removed[[2]ad.ID{link.A, link.B}] = link
+	evicted, retained = b.srv.MutateScoped(
+		synthesis.LinkDownChange(x, y), func() { b.g.RemoveLink(x, y) })
+	flushed = b.dp.InvalidateLink(x, y)
+	return evicted, retained, flushed, nil
+}
+
+// Restore brings a previously failed x-y link back up with its original
+// class and cost. Retained entries stay legal but may no longer be optimal
+// until a full invalidation.
+func (b *Backend) Restore(x, y ad.ID) (evicted, retained int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := ad.Link{A: x, B: y}.Canonical()
+	link, found := b.removed[[2]ad.ID{key.A, key.B}]
+	if !found {
+		return 0, 0, fmt.Errorf("link %v-%v was not failed here", x, y)
+	}
+	delete(b.removed, [2]ad.ID{key.A, key.B})
+	evicted, retained = b.srv.MutateScoped(
+		synthesis.LinkUpChange(x, y), func() { _ = b.g.AddLink(link) })
+	return evicted, retained, nil
+}
+
+// SetPolicy replaces a's terms with one open term of the given cost,
+// scoping the invalidation to the term keys that actually changed.
+func (b *Backend) SetPolicy(a ad.ID, cost uint32) (evicted, retained int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	term := policy.OpenTerm(a, 0)
+	term.Cost = cost
+	ch := synthesis.PolicyChangeOf(b.db.DiffTerms(a, []policy.Term{term}))
+	return b.srv.MutateScoped(ch, func() { b.db.SetTerms(a, []policy.Term{term}) })
+}
+
+// Invalidate forces the full generation bump, restoring optimality after
+// scoped retentions, and returns the new generation.
+func (b *Backend) Invalidate() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.srv.Invalidate()
+	return b.srv.Generation()
+}
+
+// Stats snapshots the serving counters.
+func (b *Backend) Stats() Stats {
+	m := b.srv.Snapshot()
+	return Stats{
+		Gen:       b.srv.Generation(),
+		Queries:   m.Queries,
+		Hits:      m.Hits,
+		Coalesced: m.Coalesced,
+		Misses:    m.Misses,
+		Failures:  m.Failures,
+		Cached:    b.srv.CacheLen(),
+	}
+}
+
+// Install serves a route for req and installs it as PG handle state.
+func (b *Backend) Install(req policy.Request) (handle uint64, path ad.Path, found bool) {
+	res := b.srv.Query(req)
+	if !res.Found {
+		return 0, nil, false
+	}
+	return b.dp.Install(req, res.Path), res.Path, true
+}
+
+// Send forwards one data packet over handle.
+func (b *Backend) Send(handle uint64) routeserver.SendResult {
+	return b.dp.Send(handle)
+}
+
+// Refresh re-asserts every live flow's soft state.
+func (b *Backend) Refresh() (refreshed, failed int) {
+	return b.dp.RefreshAll()
+}
+
+// Tick advances the data plane's logical clock by secs seconds and returns
+// the new clock reading plus the expired-entry count.
+func (b *Backend) Tick(secs int64) (nowSecs int64, expired int) {
+	expired = b.dp.Tick(sim.Time(secs) * sim.Second)
+	return int64(b.dp.Now() / sim.Second), expired
+}
+
+// Repair re-establishes every flow queued by misses or failures.
+func (b *Backend) Repair() (attempted, repaired int) {
+	return b.dp.Repair(b.srv)
+}
+
+// State reports the data-plane metrics.
+func (b *Backend) State() routeserver.DataPlaneMetrics {
+	return b.dp.Metrics()
+}
+
+// linkOf returns the graph's link between a and b, if present.
+func linkOf(g *ad.Graph, a, b ad.ID) (ad.Link, bool) {
+	want := ad.Link{A: a, B: b}.Canonical()
+	for _, l := range g.Links() {
+		if l.A == want.A && l.B == want.B {
+			return l, true
+		}
+	}
+	return ad.Link{}, false
+}

@@ -1,0 +1,124 @@
+package daemon
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/wire"
+)
+
+// Client is a synchronous protocol client: one request on the wire at a
+// time, each reply matched to its request ID. Not safe for concurrent use;
+// the load harness gives every goroutine its own client, which is also
+// what makes connection counts meaningful.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	seq  uint64
+}
+
+// Dial connects a client to a daemon ("tcp", "unix").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its reply.
+func (c *Client) roundTrip(m wire.Message) (wire.Message, error) {
+	if err := wire.WriteMessage(c.bw, m); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(c.br)
+}
+
+// Query asks for a route.
+func (c *Client) Query(req policy.Request) (routeserver.Result, error) {
+	c.seq++
+	rep, err := c.roundTrip(&wire.Query{ID: c.seq, Req: req})
+	if err != nil {
+		return routeserver.Result{}, err
+	}
+	qr, ok := rep.(*wire.QueryReply)
+	if !ok || qr.ID != c.seq {
+		return routeserver.Result{}, fmt.Errorf("daemon: bad query reply %T", rep)
+	}
+	return routeserver.Result{Path: qr.Path, Found: qr.Found}, nil
+}
+
+// Control issues a control-plane mutation.
+func (c *Client) Control(op uint8, a, b ad.ID, cost uint32) (*wire.ControlReply, error) {
+	c.seq++
+	rep, err := c.roundTrip(&wire.Control{ID: c.seq, Op: op, A: a, B: b, Cost: cost})
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := rep.(*wire.ControlReply)
+	if !ok || cr.ID != c.seq {
+		return nil, fmt.Errorf("daemon: bad control reply %T", rep)
+	}
+	return cr, nil
+}
+
+// DataOp issues a data-plane operation.
+func (c *Client) DataOp(op uint8, handle uint64, arg uint32, req policy.Request) (*wire.DataOpReply, error) {
+	c.seq++
+	rep, err := c.roundTrip(&wire.DataOp{ID: c.seq, Op: op, Handle: handle, Arg: arg, Req: req})
+	if err != nil {
+		return nil, err
+	}
+	dr, ok := rep.(*wire.DataOpReply)
+	if !ok || dr.ID != c.seq {
+		return nil, fmt.Errorf("daemon: bad data-op reply %T", rep)
+	}
+	return dr, nil
+}
+
+// Stats fetches the serving counters.
+func (c *Client) Stats() (*wire.StatsReply, error) {
+	c.seq++
+	rep, err := c.roundTrip(&wire.StatsQuery{ID: c.seq})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := rep.(*wire.StatsReply)
+	if !ok || sr.ID != c.seq {
+		return nil, fmt.Errorf("daemon: bad stats reply %T", rep)
+	}
+	return sr, nil
+}
+
+// Drain asks the daemon to drain; the ack arrives before the drain begins.
+func (c *Client) Drain() error {
+	c.seq++
+	rep, err := c.roundTrip(&wire.Drain{ID: c.seq})
+	if err != nil {
+		return err
+	}
+	if cr, ok := rep.(*wire.ControlReply); !ok || cr.ID != c.seq || !cr.OK() {
+		return fmt.Errorf("daemon: bad drain ack %T", rep)
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package daemon
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ad"
+	"repro/internal/pgstate"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/sim"
+	"repro/internal/synthesis"
+	"repro/internal/wire"
+)
+
+// testWorld is the diamond the cmd/routed tests use: a cheap transit (t1),
+// an expensive detour (t2).
+//
+//	src(1) ─ t1(2) ─ dst(4)   (cost 2)
+//	src(1) ─ t2(3) ─ dst(4)   (cost 10)
+func testWorld(t *testing.T, strat func(*ad.Graph, *policy.DB) synthesis.Strategy) *Backend {
+	t.Helper()
+	g := ad.NewGraph()
+	src := g.AddAD("src", ad.Stub, ad.Campus)
+	t1 := g.AddAD("t1", ad.Transit, ad.Regional)
+	t2 := g.AddAD("t2", ad.Transit, ad.Regional)
+	dst := g.AddAD("dst", ad.Stub, ad.Campus)
+	for _, l := range []ad.Link{
+		{A: src, B: t1, Cost: 1}, {A: t1, B: dst, Cost: 1},
+		{A: src, B: t2, Cost: 5}, {A: t2, B: dst, Cost: 5},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := policy.OpenDB(g)
+	if strat == nil {
+		strat = func(g *ad.Graph, db *policy.DB) synthesis.Strategy {
+			return synthesis.NewOnDemand(g, db)
+		}
+	}
+	srv := routeserver.New(strat(g, db), routeserver.Config{})
+	dp, err := routeserver.NewDataPlane(pgstate.Config{Kind: pgstate.Soft, TTL: 30 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBackend(srv, dp, g, db)
+}
+
+// pipeSession runs one session over net.Pipe — no sockets — and returns a
+// protocol client talking to it.
+func pipeSession(t *testing.T, d *Daemon) *Client {
+	t.Helper()
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.ServeConn(server)
+	}()
+	t.Cleanup(func() {
+		client.Close()
+		<-done
+	})
+	return NewClient(client)
+}
+
+func TestSessionProtocolRoundTrip(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{})
+	cl := pipeSession(t, d)
+
+	// Query: cheap route, then an unroutable pair.
+	res, err := cl.Query(policy.Request{Src: 1, Dst: 4})
+	if err != nil || !res.Found || !res.Path.Equal(ad.Path{1, 2, 4}) {
+		t.Fatalf("query = %+v, %v", res, err)
+	}
+	if res, err = cl.Query(policy.Request{Src: 99, Dst: 98}); err != nil || res.Found {
+		t.Fatalf("unroutable pair = %+v, %v", res, err)
+	}
+
+	// Data plane: install, send, refresh, tick, repair, state.
+	dr, err := cl.DataOp(wire.OpInstall, 0, 0, policy.Request{Src: 1, Dst: 4})
+	if err != nil || dr.Code != wire.DataOK || dr.Handle != 1 || !dr.Path.Equal(ad.Path{1, 2, 4}) {
+		t.Fatalf("install = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(wire.OpSend, 1, 0, policy.Request{}); err != nil || dr.Code != wire.DataOK {
+		t.Fatalf("send = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(wire.OpSend, 777, 0, policy.Request{}); err != nil || dr.Code != wire.DataUnknownHandle {
+		t.Fatalf("send unknown = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(wire.OpRefresh, 0, 0, policy.Request{}); err != nil || dr.N1 != 1 || dr.N2 != 0 {
+		t.Fatalf("refresh = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(wire.OpTick, 0, 10, policy.Request{}); err != nil || dr.N1 != 10 {
+		t.Fatalf("tick = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(wire.OpState, 0, 0, policy.Request{}); err != nil || dr.Text == "" {
+		t.Fatalf("state = %+v, %v", dr, err)
+	}
+	if dr, err = cl.DataOp(99, 0, 0, policy.Request{}); err != nil || dr.Code != wire.DataBadOp {
+		t.Fatalf("bad op = %+v, %v", dr, err)
+	}
+
+	// Control plane: fail evicts the cheap route and flushes the handle,
+	// the rerouted query takes the detour, restore retains it.
+	cr, err := cl.Control(wire.CtlFail, 2, 4, 0)
+	if err != nil || !cr.OK() || cr.Evicted != 1 || cr.Flushed != 3 {
+		t.Fatalf("fail = %+v, %v", cr, err)
+	}
+	if res, err = cl.Query(policy.Request{Src: 1, Dst: 4}); err != nil || !res.Path.Equal(ad.Path{1, 3, 4}) {
+		t.Fatalf("post-failure query = %+v, %v", res, err)
+	}
+	if dr, err = cl.DataOp(wire.OpRepair, 0, 0, policy.Request{}); err != nil || dr.N1 != 1 || dr.N2 != 1 {
+		t.Fatalf("repair = %+v, %v", dr, err)
+	}
+	if cr, err = cl.Control(wire.CtlRestore, 2, 4, 0); err != nil || !cr.OK() || cr.Retained == 0 {
+		t.Fatalf("restore = %+v, %v", cr, err)
+	}
+
+	// Control errors travel as text, not as broken sessions.
+	if cr, err = cl.Control(wire.CtlFail, 9, 9, 0); err != nil || cr.OK() || cr.Err != "no link AD9-AD9" {
+		t.Fatalf("fail bad link = %+v, %v", cr, err)
+	}
+	if cr, err = cl.Control(wire.CtlRestore, 9, 9, 0); err != nil || cr.OK() || cr.Err != "link AD9-AD9 was not failed here" {
+		t.Fatalf("restore unfailed = %+v, %v", cr, err)
+	}
+	if cr, err = cl.Control(99, 0, 0, 0); err != nil || cr.OK() {
+		t.Fatalf("unknown control op = %+v, %v", cr, err)
+	}
+
+	// Policy: making t1 expensive reroutes through t2 after the scoped
+	// eviction.
+	if cr, err = cl.Control(wire.CtlPolicy, 2, 0, 100); err != nil || !cr.OK() {
+		t.Fatalf("policy = %+v, %v", cr, err)
+	}
+	if res, err = cl.Query(policy.Request{Src: 1, Dst: 4}); err != nil || !res.Path.Equal(ad.Path{1, 3, 4}) {
+		t.Fatalf("post-policy query = %+v, %v", res, err)
+	}
+
+	// Invalidate bumps the generation; stats reflect the session's work.
+	if cr, err = cl.Control(wire.CtlInvalidate, 0, 0, 0); err != nil || cr.Gen != 1 {
+		t.Fatalf("invalidate = %+v, %v", cr, err)
+	}
+	st, err := cl.Stats()
+	if err != nil || st.Gen != 1 || st.Queries == 0 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+
+	if got := d.Metrics(); got.Requests == 0 || got.Accepted != 1 || got.Active != 1 {
+		t.Fatalf("daemon metrics = %+v", got)
+	}
+}
+
+func TestSessionRejectsNonRequests(t *testing.T) {
+	be := testWorld(t, nil)
+	cl := pipeSession(t, New(be, Config{}))
+	// A routing-protocol message is not a serving request: the daemon
+	// answers with a control error instead of wedging or closing.
+	if err := wire.WriteMessage(cl.bw, &wire.DVUpdate{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.ReadMessage(cl.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := rep.(*wire.ControlReply)
+	if !ok || cr.OK() {
+		t.Fatalf("reply to a non-request = %#v", rep)
+	}
+}
+
+func TestConnectionLimitRefuses(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{MaxConns: 1})
+	cl := pipeSession(t, d)
+	if _, err := cl.Query(policy.Request{Src: 1, Dst: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second connection is refused: closed before any reply.
+	server, client := net.Pipe()
+	go d.ServeConn(server)
+	defer client.Close()
+	over := NewClient(client)
+	if _, err := over.Query(policy.Request{Src: 1, Dst: 4}); err == nil {
+		t.Fatal("query over the connection limit succeeded")
+	}
+	if m := d.Metrics(); m.Refused != 1 || m.Active != 1 {
+		t.Fatalf("metrics after refusal = %+v", m)
+	}
+}
+
+func TestSlowClientEviction(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{WriteQueue: 1, WriteTimeout: 20 * time.Millisecond})
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.ServeConn(server)
+	}()
+	defer client.Close()
+
+	// Pipeline requests without ever reading replies: the write queue
+	// fills, the grace expires, and the daemon evicts the session rather
+	// than blocking its reader forever.
+	for i := 0; i < 16; i++ {
+		if err := wire.WriteMessage(client, &wire.Query{ID: uint64(i), Req: policy.Request{Src: 1, Dst: 4}}); err != nil {
+			break // the eviction closed the pipe under us: exactly the point
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow client was never evicted")
+	}
+	if m := d.Metrics(); m.Evicted != 1 {
+		t.Fatalf("metrics after slow client = %+v", m)
+	}
+}
+
+// stallStrategy blocks one Route call so a drain can be triggered while
+// the request is provably in flight.
+type stallStrategy struct {
+	synthesis.Strategy
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *stallStrategy) Route(req policy.Request) (ad.Path, bool) {
+	if s.armed.CompareAndSwap(true, false) {
+		close(s.entered)
+		<-s.release
+	}
+	return s.Strategy.Route(req)
+}
+
+func TestDrainFinishesInFlight(t *testing.T) {
+	stall := &stallStrategy{entered: make(chan struct{}), release: make(chan struct{})}
+	be := testWorld(t, func(g *ad.Graph, db *policy.DB) synthesis.Strategy {
+		stall.Strategy = synthesis.NewOnDemand(g, db)
+		return stall
+	})
+	stall.armed.Store(true)
+	d := New(be, Config{})
+	cl := pipeSession(t, d)
+
+	type answer struct {
+		res routeserver.Result
+		err error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		res, err := cl.Query(policy.Request{Src: 1, Dst: 4})
+		got <- answer{res, err}
+	}()
+	<-stall.entered
+
+	// Drain while the query is mid-synthesis: the session must finish the
+	// request and flush the reply before closing.
+	drained := make(chan struct{})
+	go func() {
+		d.Drain()
+		close(drained)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the drain reach the session
+	close(stall.release)
+
+	select {
+	case a := <-got:
+		if a.err != nil || !a.res.Found || !a.res.Path.Equal(ad.Path{1, 2, 4}) {
+			t.Fatalf("in-flight query lost to drain: %+v, %v", a.res, a.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight reply never arrived")
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+
+	// After the drain the session is gone and new connections are refused.
+	if _, err := wire.ReadMessage(cl.br); err != io.EOF {
+		t.Fatalf("post-drain read = %v, want EOF", err)
+	}
+	server, client := net.Pipe()
+	go d.ServeConn(server)
+	defer client.Close()
+	if _, err := wire.ReadMessage(client); err != io.EOF {
+		t.Fatalf("post-drain connection not refused: %v", err)
+	}
+}
+
+func TestDrainMessageOverTCP(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+
+	cl, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(policy.Request{Src: 1, Dst: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The Drain message is acked first, then the daemon winds down: the
+	// listener closes (Serve returns nil, not an accept error) and the
+	// connection reaches EOF.
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain message did not complete a drain")
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v for a drain close", err)
+	}
+	if _, err := wire.ReadMessage(cl.br); err != io.EOF {
+		t.Fatalf("post-drain read = %v, want EOF", err)
+	}
+}
+
+// TestConcurrentSessionsAcrossScopedMutation is the race-detector workout
+// for the network path: concurrent connections query while another
+// connection interleaves scoped link failures/restorations and policy
+// changes. Every reply must be a legal answer for the topology interval it
+// was computed in — here simply: no errors, and the counters add up.
+func TestConcurrentSessionsAcrossScopedMutation(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(ln)
+	defer d.Drain()
+
+	const clients = 4
+	const rounds = 100
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < rounds; i++ {
+				res, err := cl.Query(policy.Request{Src: 1, Dst: 4})
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if res.Found && !res.Path.Equal(ad.Path{1, 2, 4}) && !res.Path.Equal(ad.Path{1, 3, 4}) {
+					t.Errorf("impossible path %v", res.Path)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctl, err := Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer ctl.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := ctl.Control(wire.CtlFail, 2, 4, 0); err != nil {
+				t.Errorf("fail: %v", err)
+				return
+			}
+			if _, err := ctl.Control(wire.CtlRestore, 2, 4, 0); err != nil {
+				t.Errorf("restore: %v", err)
+				return
+			}
+			if _, err := ctl.Control(wire.CtlPolicy, 3, 0, uint32(5+i%3)); err != nil {
+				t.Errorf("policy: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	st, err := func() (*wire.StatsReply, error) {
+		cl, err := Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		return cl.Stats()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries < clients*rounds {
+		t.Fatalf("stats lost queries: %+v", st)
+	}
+	if st.Hits+st.Coalesced+st.Misses != st.Queries {
+		t.Fatalf("counter accounting broken under churn: %+v", st)
+	}
+}
+
+func TestLoadRunAgainstDaemon(t *testing.T) {
+	be := testWorld(t, nil)
+	d := New(be, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(ln)
+	defer d.Drain()
+
+	workload := make([]policy.Request, 200)
+	for i := range workload {
+		workload[i] = policy.Request{Src: 1, Dst: 4, Hour: uint8(i % 4)}
+	}
+	rep := LoadRun("tcp", ln.Addr().String(), workload, LoadConfig{
+		Clients:        8,
+		ReconnectEvery: 10,
+		Events: []ChurnEvent{
+			{After: 0.3, Op: wire.CtlFail, A: 2, B: 4},
+			{After: 0.6, Op: wire.CtlRestore, A: 2, B: 4},
+		},
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("load run hit %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Served != rep.Requests {
+		t.Fatalf("served %d of %d", rep.Served, rep.Requests)
+	}
+	if rep.Reconnects == 0 {
+		t.Fatal("connection churn never reconnected")
+	}
+	if rep.QPS <= 0 || rep.Latency.P99 <= 0 {
+		t.Fatalf("report missing rates: %+v", rep)
+	}
+	if m := d.Metrics(); m.Accepted < 8 || m.Requests < uint64(len(workload)) {
+		t.Fatalf("daemon metrics = %+v", m)
+	}
+}
+
+func TestLinkOf(t *testing.T) {
+	g := ad.NewGraph()
+	a := g.AddAD("a", ad.Stub, ad.Campus)
+	b := g.AddAD("b", ad.Stub, ad.Campus)
+	if err := g.AddLink(ad.Link{A: a, B: b, Cost: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Link lookup is order-insensitive: the graph stores the canonical form.
+	l, ok := linkOf(g, b, a)
+	if !ok || l.Cost != 3 {
+		t.Errorf("linkOf(b, a) = %+v %v", l, ok)
+	}
+	if _, ok := linkOf(g, a, 99); ok {
+		t.Error("linkOf found a nonexistent link")
+	}
+}

@@ -1,0 +1,171 @@
+package daemon
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ad"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+)
+
+// LoadConfig parameterizes a network load run.
+type LoadConfig struct {
+	// Clients is the number of concurrent connections, each driven by its
+	// own goroutine (default 4).
+	Clients int
+	// ReconnectEvery injects connection churn: each client tears its
+	// connection down and redials after this many requests (0 = never).
+	ReconnectEvery int
+	// Events is the control-plane churn timeline, sent from a dedicated
+	// connection as each event's workload fraction is reached.
+	Events []ChurnEvent
+}
+
+// ChurnEvent is one control-plane mutation in a load run's timeline.
+type ChurnEvent struct {
+	// After is the workload fraction (0..1) at which the event fires.
+	After float64
+	// Op, A, B, Cost form the wire.Control request.
+	Op   uint8
+	A, B ad.ID
+	Cost uint32
+}
+
+func (c LoadConfig) normalize() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	return c
+}
+
+// LoadReport summarizes a network load run.
+type LoadReport struct {
+	// Requests is the workload length; Served of them found a route,
+	// NoRoute did not, and Errors hit connection failures.
+	Requests, Served, NoRoute, Errors int
+	// Reconnects counts connection-churn redials across all clients.
+	Reconnects int
+	// Elapsed is the serving phase's wall-clock duration; QPS is
+	// Requests/Elapsed.
+	Elapsed time.Duration
+	QPS     float64
+	// Latency digests per-request round-trip latency (P50/P95/P99).
+	Latency metrics.LatencySummary
+}
+
+// LoadRun replays the workload against a live daemon from cfg.Clients
+// concurrent connections — client i takes requests i, i+C, i+2C, … — with
+// optional connection churn and control-plane events, and blocks until
+// every request is answered. Unlike routeserver.Run this exercises the
+// full network path: framing, session queues, backpressure.
+func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) LoadReport {
+	cfg = cfg.normalize()
+	rep := LoadReport{Requests: len(workload)}
+	if len(workload) == 0 {
+		return rep
+	}
+	n := cfg.Clients
+	if n > len(workload) {
+		n = len(workload)
+	}
+
+	var (
+		progress   atomic.Uint64 // requests answered so far
+		served     atomic.Uint64
+		noRoute    atomic.Uint64
+		errors     atomic.Uint64
+		reconnects atomic.Uint64
+		hist       metrics.Histogram
+	)
+
+	// Churn driver: a dedicated control connection fires events in order
+	// as the answered-request count crosses their fractions.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		if len(cfg.Events) == 0 {
+			return
+		}
+		ctl, err := Dial(network, addr)
+		if err != nil {
+			return
+		}
+		defer ctl.Close()
+		for _, ev := range cfg.Events {
+			threshold := uint64(ev.After * float64(len(workload)))
+			for progress.Load() < threshold {
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			if _, err := ctl.Control(ev.Op, ev.A, ev.B, ev.Cost); err != nil {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(network, addr)
+			if err != nil {
+				for i := c; i < len(workload); i += n {
+					errors.Add(1)
+					progress.Add(1)
+				}
+				return
+			}
+			defer func() { cl.Close() }()
+			sent := 0
+			for i := c; i < len(workload); i += n {
+				if cfg.ReconnectEvery > 0 && sent > 0 && sent%cfg.ReconnectEvery == 0 {
+					cl.Close()
+					if cl, err = Dial(network, addr); err != nil {
+						errors.Add(1)
+						progress.Add(1)
+						return
+					}
+					reconnects.Add(1)
+				}
+				t0 := time.Now()
+				res, err := cl.Query(workload[i])
+				hist.Observe(time.Since(t0))
+				switch {
+				case err != nil:
+					errors.Add(1)
+				case res.Found:
+					served.Add(1)
+				default:
+					noRoute.Add(1)
+				}
+				progress.Add(1)
+				sent++
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	close(stop)
+	<-churnDone
+
+	rep.Served = int(served.Load())
+	rep.NoRoute = int(noRoute.Load())
+	rep.Errors = int(errors.Load())
+	rep.Reconnects = int(reconnects.Load())
+	if rep.Elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+	rep.Latency = hist.Snapshot()
+	return rep
+}

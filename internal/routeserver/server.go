@@ -191,7 +191,11 @@ func (sh *shard) unindex(k Key, c cached) {
 }
 
 // evictScoped drops every entry the change can affect, resolved through
-// the reverse index, and returns the eviction count. Caller holds mu.
+// the reverse index, and returns the number of entries actually deleted —
+// a victim key whose cache entry is already gone (e.g. dropped by a
+// concurrent lookup's stale-on-sight deletion between index resolution and
+// here, or a dangling index edge) is not counted as eviction work. Caller
+// holds mu.
 func (sh *shard) evictScoped(c synthesis.Change) int {
 	victims := make(map[Key]struct{})
 	switch c.Kind {
@@ -221,13 +225,29 @@ func (sh *shard) evictScoped(c synthesis.Change) int {
 			victims[k] = struct{}{}
 		}
 	}
+	deleted := 0
 	for k := range victims {
 		if ent, ok := sh.lru.Peek(k); ok {
 			sh.unindex(k, ent)
 			sh.lru.Delete(k)
+			deleted++
 		}
 	}
-	return len(victims)
+	return deleted
+}
+
+// retainedCurrent counts the shard's entries of generation gen — stale
+// entries left behind by a prior full bump are dead weight awaiting lazy
+// deletion, not retained work. Caller holds mu.
+func (sh *shard) retainedCurrent(gen uint64) int {
+	n := 0
+	sh.lru.Range(func(_ Key, c cached) bool {
+		if c.gen == gen {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // call is one in-flight singleflight computation.
@@ -284,7 +304,8 @@ type MetricsSnapshot struct {
 	// ScopedEvicted is the total entries evicted by scoped mutations.
 	ScopedEvicted uint64
 	// ScopedRetained is the total entries retained across scoped
-	// mutations (cache size summed after each scoped eviction).
+	// mutations (current-generation entries summed after each scoped
+	// eviction; stale entries awaiting lazy deletion are excluded).
 	ScopedRetained uint64
 	// Latency digests per-query serving latency.
 	Latency metrics.LatencySummary
@@ -418,6 +439,11 @@ func (s *Server) Query(req policy.Request) Result {
 // coalesce runs the synthesis for key at most once among concurrent
 // callers; every caller gets the same result. Reports whether this caller
 // was the leader (ran the computation).
+//
+// Panic safety: if the computation panics, the leader re-panics after
+// deregistering the call and releasing every coalesced waiter — waiters
+// observe the zero Result ("no legal route") rather than blocking forever
+// on a wg.Done that would never come, and the sfCalls entry never leaks.
 func (s *Server) coalesce(key sfKey, req policy.Request) (Result, bool) {
 	s.sfMu.Lock()
 	if c, ok := s.sfCalls[key]; ok {
@@ -430,12 +456,13 @@ func (s *Server) coalesce(key sfKey, req policy.Request) (Result, bool) {
 	s.sfCalls[key] = c
 	s.sfMu.Unlock()
 
+	defer func() {
+		s.sfMu.Lock()
+		delete(s.sfCalls, key)
+		s.sfMu.Unlock()
+		c.wg.Done()
+	}()
 	c.res = s.compute(req)
-
-	s.sfMu.Lock()
-	delete(s.sfCalls, key)
-	s.sfMu.Unlock()
-	c.wg.Done()
 	return c.res, true
 }
 
@@ -452,7 +479,10 @@ func (s *Server) compute(req policy.Request) Result {
 	s.workers <- struct{}{}
 	defer func() { <-s.workers }()
 
+	// Unlock via defer: a panicking strategy must not leave the strategy
+	// lock held, or every later query and mutation would deadlock.
 	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
 	gen := s.gen.Load() // the generation this computation's view belongs to
 	path, found := s.strategy.Route(req)
 	res := Result{Path: path, Found: found}
@@ -461,7 +491,6 @@ func (s *Server) compute(req policy.Request) Result {
 		fp = s.strategy.Footprint(req, path)
 	}
 	s.insert(KeyOf(req), gen, res, fp)
-	s.stratMu.Unlock()
 	return res
 }
 
@@ -509,11 +538,12 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 	// New queries must not join pre-mutation in-flight computations; those
 	// finish under stratMu and are therefore indexed before this point.
 	s.epoch.Add(1)
+	gen := s.gen.Load()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		evicted += sh.evictScoped(ch)
-		retained += sh.lru.Len()
+		retained += sh.retainedCurrent(gen)
 		sh.mu.Unlock()
 	}
 	s.strategy.InvalidateScoped(ch)

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+func daemonMessages() []Message {
+	return []Message{
+		&Query{ID: 1, Req: policy.Request{Src: 1, Dst: 9, QOS: 1, UCI: 2, Hour: 13}},
+		&QueryReply{ID: 1, Found: true, Path: ad.Path{1, 4, 9}},
+		&QueryReply{ID: 2, Found: false, Path: ad.Path{}},
+		&Control{ID: 3, Op: CtlFail, A: 2, B: 4},
+		&Control{ID: 4, Op: CtlPolicy, A: 2, Cost: 100},
+		&ControlReply{ID: 3, Code: CtlOK, Evicted: 5, Retained: 12, Flushed: 3, Gen: 2},
+		&ControlReply{ID: 9, Code: CtlErr, Err: "no link AD2-AD4"},
+		&DataOp{ID: 5, Op: OpInstall, Req: policy.Request{Src: 1, Dst: 4}},
+		&DataOp{ID: 6, Op: OpSend, Handle: 7},
+		&DataOp{ID: 7, Op: OpTick, Arg: 30},
+		&DataOpReply{ID: 5, Op: OpInstall, Code: DataOK, Handle: 7, Path: ad.Path{1, 2, 4}},
+		&DataOpReply{ID: 6, Op: OpSend, Code: DataNoState, N1: 2, Path: ad.Path{}},
+		&DataOpReply{ID: 8, Op: OpState, Code: DataOK, Path: ad.Path{}, Text: "flows 3, pending-repairs 0"},
+		&StatsQuery{ID: 10},
+		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Coalesced: 5, Misses: 15, Failures: 2, Cached: 15},
+		&Drain{ID: 11},
+	}
+}
+
+func TestDaemonMessagesRoundTrip(t *testing.T) {
+	for _, m := range daemonMessages() {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v: got %+v, want %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestDaemonMessagesTruncationEveryPrefix(t *testing.T) {
+	for _, m := range daemonMessages() {
+		full := Marshal(m)
+		for cut := 4; cut < len(full); cut++ {
+			truncated := append([]byte{}, full[:cut]...)
+			truncated[2] = byte((cut - 4) >> 8)
+			truncated[3] = byte(cut - 4)
+			_, _ = Unmarshal(truncated) // must not panic
+		}
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := daemonMessages()
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %v: %v", m.Type(), err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("message %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	full := Marshal(&Query{ID: 1, Req: policy.Request{Src: 1, Dst: 2}})
+
+	// EOF mid-header.
+	if _, err := ReadMessage(bytes.NewReader(full[:2])); err != io.ErrUnexpectedEOF {
+		t.Errorf("mid-header: err = %v", err)
+	}
+	// EOF mid-body.
+	if _, err := ReadMessage(bytes.NewReader(full[:len(full)-3])); err != io.ErrUnexpectedEOF {
+		t.Errorf("mid-body: err = %v", err)
+	}
+	// Bad version rejected before the body is read.
+	bad := append([]byte{}, full...)
+	bad[0] = 9
+	if _, err := ReadMessage(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: err = %v", err)
+	}
+}
+
+func TestControlReplyOK(t *testing.T) {
+	if !(&ControlReply{Code: CtlOK}).OK() {
+		t.Error("CtlOK reply reports failure")
+	}
+	if (&ControlReply{Code: CtlErr, Err: "x"}).OK() {
+		t.Error("CtlErr reply reports OK")
+	}
+}

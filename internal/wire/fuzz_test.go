@@ -41,6 +41,11 @@ func TestUnmarshalMutatedValidMessages(t *testing.T) {
 		Marshal(&EGPUpdate{Routes: []EGPRoute{{Dest: 5, Metric: 2}}}),
 		Marshal(&Refresh{Handle: 7, TTLMillis: 1000}),
 		Marshal(&Teardown{Handle: 7, Reason: TeardownRepair}),
+		Marshal(&Query{ID: 1, Req: policy.Request{Src: 1, Dst: 9}}),
+		Marshal(&QueryReply{ID: 1, Found: true, Path: ad.Path{1, 4, 9}}),
+		Marshal(&ControlReply{ID: 9, Code: CtlErr, Err: "no link"}),
+		Marshal(&DataOpReply{ID: 5, Op: OpState, Text: "flows 3"}),
+		Marshal(&StatsReply{ID: 10, Queries: 100}),
 	}
 	for trial := 0; trial < 5000; trial++ {
 		base := bases[rng.Intn(len(bases))]
@@ -95,6 +100,15 @@ func FuzzDecode(f *testing.F) {
 		&Teardown{Handle: 7, Reason: TeardownRepair},
 		&EGPUpdate{Routes: []EGPRoute{{Dest: 5, Metric: 2}}},
 		&Refresh{Handle: 7, TTLMillis: 1000},
+		&Query{ID: 1, Req: policy.Request{Src: 1, Dst: 9, QOS: 1, UCI: 2, Hour: 13}},
+		&QueryReply{ID: 1, Found: true, Path: ad.Path{1, 4, 9}},
+		&Control{ID: 3, Op: CtlFail, A: 2, B: 4},
+		&ControlReply{ID: 9, Code: CtlErr, Evicted: 5, Retained: 12, Err: "no link AD2-AD4"},
+		&DataOp{ID: 5, Op: OpInstall, Req: policy.Request{Src: 1, Dst: 4}},
+		&DataOpReply{ID: 5, Op: OpInstall, Code: DataOK, Handle: 7, Path: ad.Path{1, 2, 4}, Text: "ok"},
+		&StatsQuery{ID: 10},
+		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Cached: 15},
+		&Drain{ID: 11},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))

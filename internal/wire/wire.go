@@ -52,6 +52,26 @@ const (
 	// TypeRefresh is a soft-state keepalive extending a policy-route
 	// handle's lifetime at each PG on the cached route.
 	TypeRefresh
+	// TypeQuery is a route query on a daemon session (§5.4 serving).
+	TypeQuery
+	// TypeQueryReply answers a route query.
+	TypeQueryReply
+	// TypeControl is a control-plane mutation (fail/restore/policy/
+	// invalidate) on a daemon session.
+	TypeControl
+	// TypeControlReply acknowledges a Control or Drain.
+	TypeControlReply
+	// TypeDataOp is a data-plane operation (install/send/refresh/tick/
+	// repair/state) on a daemon session.
+	TypeDataOp
+	// TypeDataOpReply answers a DataOp.
+	TypeDataOpReply
+	// TypeStatsQuery asks for the daemon's serving counters.
+	TypeStatsQuery
+	// TypeStatsReply carries the serving counters.
+	TypeStatsReply
+	// TypeDrain asks the daemon to drain gracefully.
+	TypeDrain
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +95,24 @@ func (t MsgType) String() string {
 		return "egp"
 	case TypeRefresh:
 		return "refresh"
+	case TypeQuery:
+		return "query"
+	case TypeQueryReply:
+		return "query-reply"
+	case TypeControl:
+		return "control"
+	case TypeControlReply:
+		return "control-reply"
+	case TypeDataOp:
+		return "data-op"
+	case TypeDataOpReply:
+		return "data-op-reply"
+	case TypeStatsQuery:
+		return "stats-query"
+	case TypeStatsReply:
+		return "stats-reply"
+	case TypeDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -156,6 +194,24 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &EGPUpdate{}
 	case TypeRefresh:
 		m = &Refresh{}
+	case TypeQuery:
+		m = &Query{}
+	case TypeQueryReply:
+		m = &QueryReply{}
+	case TypeControl:
+		m = &Control{}
+	case TypeControlReply:
+		m = &ControlReply{}
+	case TypeDataOp:
+		m = &DataOp{}
+	case TypeDataOpReply:
+		m = &DataOpReply{}
+	case TypeStatsQuery:
+		m = &StatsQuery{}
+	case TypeStatsReply:
+		m = &StatsReply{}
+	case TypeDrain:
+		m = &Drain{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
 	}
