@@ -11,7 +11,8 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: vet, formatting, and race-enabled tests (the
-# parallel experiment runner must be race-clean).
+# parallel experiment runner and the HA replication machinery must be
+# race-clean).
 check: vet fmt race
 
 vet:
@@ -23,8 +24,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# The HA package runs twice under the detector: its tests exercise real
+# sockets, elections, and concurrent sync streams, where interleavings
+# differ run to run.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/routeserver/ha/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -32,8 +37,8 @@ bench:
 # bench-smoke runs every benchmark exactly once — CI uses it to catch
 # benchmarks that no longer compile or that crash, without paying for
 # real measurement. BenchmarkE20RouteServer, BenchmarkE22ScopedInvalidation,
-# and BenchmarkDaemonChurn also emit BENCH_*.json reports (untracked) as a
-# machine-readable side effect.
+# BenchmarkDaemonChurn, and BenchmarkHAFailover also emit BENCH_*.json
+# reports (untracked) as a machine-readable side effect.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 

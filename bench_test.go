@@ -25,6 +25,7 @@ import (
 	"repro/internal/protocols/orwg"
 	"repro/internal/routeserver"
 	"repro/internal/routeserver/daemon"
+	"repro/internal/routeserver/ha"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/topology"
@@ -439,6 +440,176 @@ func BenchmarkDaemonChurn(b *testing.B) {
 	if err := os.WriteFile("BENCH_daemon.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatalf("write BENCH_daemon.json: %v", err)
 	}
+}
+
+// BenchmarkHAFailover measures a 3-replica HA group end to end: TCP
+// daemons fronted by failover clients, the primary's warm cache streaming
+// to the followers, then a SIGKILL-model primary death mid-run. Each
+// iteration builds a fresh group (the kill is destructive), warms the
+// primary, barriers the followers to the backlog tail, and drives the
+// workload through daemon.LoadRun in failover mode while a side goroutine
+// kills the primary and clocks the promotion. It emits BENCH_ha.json:
+// throughput and tail latency around the failover, the redirect/reconnect
+// work the clients did, the availability gap (longest reply stall,
+// cluster-wide), and the promotion latency. Wall-clock numbers are
+// hardware-dependent; served+no-route must equal requests and errors must
+// be zero — no request is lost to the failover.
+func BenchmarkHAFailover(b *testing.B) {
+	topo := topology.Generate(topology.Config{
+		Seed: benchSeed, Backbones: 2, RegionalsPerBackbone: 3,
+		CampusesPerParent: 3, LateralProb: 0.25, BypassProb: 0.1,
+		MultihomedProb: 0.15, HybridProb: 0.15,
+	})
+	baseDB := policy.Generate(topo.Graph, policy.GenConfig{
+		Seed: benchSeed, QOSClasses: 2, UCIClasses: 2,
+		QOSCoverage: 1.0, UCICoverage: 1.0, HybridSourceFraction: 0.9,
+		SourceRestrictionProb: 0.2, SourceFraction: 0.7,
+		DestRestrictionProb: 0.1, DestFraction: 0.7, AvoidProb: 0.1,
+	})
+	workload := trafficgen.Generate(topo.Graph, trafficgen.Config{
+		Seed: benchSeed + 2, Requests: 30000, StubsOnly: true,
+		Model: "zipf", ZipfS: 1.4, QOSClasses: 2, UCIClasses: 2,
+	})
+
+	const clients = 200
+	const replicas = 3
+	var last daemon.LoadReport
+	var failover time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		peers := make([]ha.Peer, replicas)
+		halns := make([]net.Listener, replicas)
+		addrs := make([]string, replicas)
+		nodes := make([]*ha.Node, replicas)
+		daemons := make([]*daemon.Daemon, replicas)
+		srvs := make([]*routeserver.Server, replicas)
+		dlns := make([]net.Listener, replicas)
+		for j := 0; j < replicas; j++ {
+			haln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			dln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			halns[j], dlns[j] = haln, dln
+			addrs[j] = dln.Addr().String()
+			peers[j] = ha.Peer{ID: uint32(j + 1), HAAddr: haln.Addr().String(), ClientAddr: addrs[j]}
+		}
+		for j := 0; j < replicas; j++ {
+			g := topo.Graph.Clone()
+			dbc := baseDB.Clone()
+			srv := routeserver.New(synthesis.NewOnDemand(g, dbc), routeserver.Config{})
+			dp, err := routeserver.NewDataPlane(pgstate.Config{Kind: pgstate.Hard})
+			if err != nil {
+				b.Fatal(err)
+			}
+			be := daemon.NewBackend(srv, dp, g, dbc)
+			d := daemon.New(be, daemon.Config{MaxConns: clients*2 + 64})
+			go d.Serve(dlns[j])
+			node, err := ha.NewNode(ha.Config{
+				ID: uint32(j + 1), Peers: peers,
+				HeartbeatEvery:   10 * time.Millisecond,
+				HeartbeatTimeout: 60 * time.Millisecond,
+				Listener:         halns[j],
+			}, be, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srvs[j], daemons[j], nodes[j] = srv, d, node
+		}
+		for _, n := range nodes {
+			n.Start()
+		}
+		// Warm the primary and barrier the followers to its backlog tail, so
+		// the failover hands over an actually warm cache.
+		routeserver.ServePhase(srvs[0], workload[:2000], 8)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			latest := nodes[0].BacklogLatest()
+			if latest > 0 && nodes[1].AppliedSeq() == latest && nodes[2].AppliedSeq() == latest {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("followers never synced to the primary's backlog tail")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			time.Sleep(100 * time.Millisecond)
+			start := time.Now()
+			nodes[0].Kill()
+			for !nodes[1].IsPrimary() && !nodes[2].IsPrimary() {
+				time.Sleep(time.Millisecond)
+			}
+			failover = time.Since(start)
+		}()
+		b.StartTimer()
+		last = daemon.LoadRun("tcp", "", workload, daemon.LoadConfig{
+			Clients: clients, Addrs: addrs, Seed: benchSeed,
+		})
+		b.StopTimer()
+		<-done
+		for j := 1; j < replicas; j++ {
+			nodes[j].Stop()
+			daemons[j].Drain()
+		}
+		if last.Errors > 0 {
+			b.Fatalf("load run hit %d errors across the failover", last.Errors)
+		}
+		if last.Served+last.NoRoute != last.Requests {
+			b.Fatalf("accounting: %d served + %d no-route != %d requests",
+				last.Served, last.NoRoute, last.Requests)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+
+	report := haBenchReport{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Clients:           clients,
+		Replicas:          replicas,
+		Requests:          last.Requests,
+		Served:            last.Served,
+		NoRoute:           last.NoRoute,
+		Reconnects:        last.Reconnects,
+		ReconnectFailures: last.ReconnectFailures,
+		Redirects:         last.Redirects,
+		QPS:               last.QPS,
+		P50NS:             last.Latency.P50.Nanoseconds(),
+		P99NS:             last.Latency.P99.Nanoseconds(),
+		AvailabilityGapMS: float64(last.MaxStall.Nanoseconds()) / 1e6,
+		FailoverLatencyMS: float64(failover.Nanoseconds()) / 1e6,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_ha.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_ha.json: %v", err)
+	}
+}
+
+type haBenchReport struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Clients           int     `json:"clients"`
+	Replicas          int     `json:"replicas"`
+	Requests          int     `json:"requests"`
+	Served            int     `json:"served"`
+	NoRoute           int     `json:"no_route"`
+	Reconnects        int     `json:"reconnects"`
+	ReconnectFailures int     `json:"reconnect_failures"`
+	Redirects         int     `json:"redirects"`
+	QPS               float64 `json:"qps"`
+	P50NS             int64   `json:"p50_ns"`
+	P99NS             int64   `json:"p99_ns"`
+	AvailabilityGapMS float64 `json:"availability_gap_ms"`
+	FailoverLatencyMS float64 `json:"failover_latency_ms"`
 }
 
 type daemonModeReport struct {

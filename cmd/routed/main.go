@@ -24,6 +24,11 @@
 //     -write-timeout), and a connection limit (-max-conns). SIGINT,
 //     SIGTERM, or a Drain protocol message triggers a graceful drain:
 //     stop accepting, finish in-flight requests, flush replies, close.
+//     With -replica-id and -peers (entries "ID@haAddr@clientAddr") the
+//     daemon joins an HA replica group: the primary (-replica-of, default
+//     lowest ID) streams its warm cache and control mutations to the
+//     followers, followers redirect clients to the primary and promote
+//     the lowest live ID when it goes silent.
 //
 //   - Load mode (-load): replays a synthetic workload (uniform / Zipf /
 //     gravity) from -clients concurrent goroutines, optionally injecting
@@ -31,7 +36,9 @@
 //     prints a serving report. -bench-json writes it machine-readably.
 //     With -connect addr the workload is instead replayed over the wire
 //     against a running daemon, one connection per client, with optional
-//     connection churn (-reconnect-every).
+//     connection churn (-reconnect-every); a comma-separated -connect
+//     list makes every client a failover client over the replica group
+//     (NotPrimary redirects followed, dead replicas rotated past).
 //
 // The internet is either generated (-seed and the topology defaults shared
 // with the experiment harness) or taken from a -scenario file, in which case
@@ -70,6 +77,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/routeserver"
 	"repro/internal/routeserver/daemon"
+	"repro/internal/routeserver/ha"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
@@ -106,6 +114,9 @@ func run() int {
 		writeQueue     = flag.Int("write-queue", 0, "daemon mode: per-session reply queue length (0 = default 128)")
 		writeTimeout   = flag.Duration("write-timeout", 0, "daemon mode: slow-client grace before eviction (0 = default 2s)")
 		reconnectEvery = flag.Int("reconnect-every", 0, "load mode with -connect: each client redials after this many requests (0 = never)")
+		replicaID      = flag.Uint("replica-id", 0, "daemon mode: this replica's ID in an HA group (0 = standalone)")
+		peersFlag      = flag.String("peers", "", "daemon mode: HA group membership as ID@haAddr@clientAddr, comma-separated, this replica included")
+		replicaOf      = flag.Uint("replica-of", 0, "daemon mode: initial primary's replica ID (0 = lowest peer ID)")
 		stateKind      = flag.String("state", "hard", "PG handle lifecycle for installed routes: hard, soft, capped")
 		stateTTL       = flag.Duration("state-ttl", 30*time.Second, "soft-state TTL in simulated time (-state soft)")
 		stateCap       = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
@@ -151,10 +162,20 @@ func run() int {
 		if *churn {
 			events = wireChurnEvents(g)
 		}
-		rep := daemon.LoadRun(networkOf(*connectAddr), *connectAddr, workload, daemon.LoadConfig{
+		// A comma-separated -connect names an HA replica set: clients fail
+		// over between the addresses and follow NotPrimary redirects.
+		var addrs []string
+		first := *connectAddr
+		if strings.Contains(*connectAddr, ",") {
+			addrs = strings.Split(*connectAddr, ",")
+			first = addrs[0]
+		}
+		rep := daemon.LoadRun(networkOf(first), first, workload, daemon.LoadConfig{
 			Clients:        *clients,
 			ReconnectEvery: *reconnectEvery,
 			Events:         events,
+			Addrs:          addrs,
+			Seed:           *seed,
 		})
 		printNetReport(os.Stdout, rep)
 		if *benchJSON != "" {
@@ -191,7 +212,7 @@ func run() int {
 			MaxConns:     *maxConns,
 			WriteQueue:   *writeQueue,
 			WriteTimeout: *writeTimeout,
-		})
+		}, uint32(*replicaID), uint32(*replicaOf), *peersFlag)
 	}
 
 	if err := serve(os.Stdin, os.Stdout, be); err != nil {
@@ -203,9 +224,32 @@ func run() int {
 // runDaemon serves the binary protocol on the requested listeners until a
 // drain completes — triggered by SIGINT/SIGTERM or a Drain protocol
 // message. In-flight requests finish and their replies flush before the
-// connections close.
-func runDaemon(be *daemon.Backend, tcpAddr, unixPath string, cfg daemon.Config) int {
+// connections close. With replicaID and peers set, the daemon joins an HA
+// replica group: followers stream the primary's warm state and redirect
+// clients, and a dead primary is failed over by heartbeat election.
+func runDaemon(be *daemon.Backend, tcpAddr, unixPath string, cfg daemon.Config, replicaID, replicaOf uint32, peersSpec string) int {
 	d := daemon.New(be, cfg)
+	if replicaID != 0 {
+		peers, err := parsePeers(peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		node, err := ha.NewNode(ha.Config{
+			ID: replicaID, Peers: peers, Primary: replicaOf,
+		}, be, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		node.Start()
+		defer node.Stop()
+		role := "follower"
+		if node.IsPrimary() {
+			role = "primary"
+		}
+		fmt.Printf("replica %d (%s) replicating on %v\n", replicaID, role, node.Addr())
+	}
 	var listeners []net.Listener
 	if tcpAddr != "" {
 		ln, err := net.Listen("tcp", tcpAddr)
@@ -247,6 +291,26 @@ func runDaemon(be *daemon.Backend, tcpAddr, unixPath string, cfg daemon.Config) 
 	return 0
 }
 
+// parsePeers parses the -peers spec: comma-separated ID@haAddr@clientAddr.
+func parsePeers(spec string) ([]ha.Peer, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-replica-id requires -peers (ID@haAddr@clientAddr,...)")
+	}
+	var peers []ha.Peer
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), "@")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad peer %q, want ID@haAddr@clientAddr", part)
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || id == 0 {
+			return nil, fmt.Errorf("bad peer ID %q", fields[0])
+		}
+		peers = append(peers, ha.Peer{ID: uint32(id), HAAddr: fields[1], ClientAddr: fields[2]})
+	}
+	return peers, nil
+}
+
 // networkOf picks the dial network for a -connect address: a path-looking
 // address means a unix socket, anything else TCP.
 func networkOf(addr string) string {
@@ -281,7 +345,9 @@ func printNetReport(w io.Writer, rep daemon.LoadReport) {
 	fmt.Fprintf(w, "requests    %d (%d served, %d no-route, %d errors)\n",
 		rep.Requests, rep.Served, rep.NoRoute, rep.Errors)
 	fmt.Fprintf(w, "elapsed     %v (%.0f qps)\n", rep.Elapsed, rep.QPS)
-	fmt.Fprintf(w, "churn       %d reconnects\n", rep.Reconnects)
+	fmt.Fprintf(w, "churn       %d reconnects, %d failed dials, %d redirects\n",
+		rep.Reconnects, rep.ReconnectFailures, rep.Redirects)
+	fmt.Fprintf(w, "stall       %v max gap between replies\n", rep.MaxStall)
 	fmt.Fprintf(w, "latency     p50 %v  p95 %v  p99 %v\n",
 		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
 }
@@ -289,16 +355,19 @@ func printNetReport(w io.Writer, rep daemon.LoadReport) {
 // writeNetJSON writes the machine-readable form of a network load report.
 func writeNetJSON(path string, rep daemon.LoadReport) error {
 	out, err := json.MarshalIndent(map[string]any{
-		"requests":    rep.Requests,
-		"served":      rep.Served,
-		"no_route":    rep.NoRoute,
-		"errors":      rep.Errors,
-		"reconnects":  rep.Reconnects,
-		"elapsed_ns":  rep.Elapsed.Nanoseconds(),
-		"qps":         rep.QPS,
-		"latency_p50": rep.Latency.P50.Nanoseconds(),
-		"latency_p95": rep.Latency.P95.Nanoseconds(),
-		"latency_p99": rep.Latency.P99.Nanoseconds(),
+		"requests":           rep.Requests,
+		"served":             rep.Served,
+		"no_route":           rep.NoRoute,
+		"errors":             rep.Errors,
+		"reconnects":         rep.Reconnects,
+		"reconnect_failures": rep.ReconnectFailures,
+		"redirects":          rep.Redirects,
+		"max_stall_ns":       rep.MaxStall.Nanoseconds(),
+		"elapsed_ns":         rep.Elapsed.Nanoseconds(),
+		"qps":                rep.QPS,
+		"latency_p50":        rep.Latency.P50.Nanoseconds(),
+		"latency_p95":        rep.Latency.P95.Nanoseconds(),
+		"latency_p99":        rep.Latency.P99.Nanoseconds(),
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -553,6 +622,13 @@ func serveLine(line string, out io.Writer, be *daemon.Backend) bool {
 		st := be.Stats()
 		fmt.Fprintf(out, "gen %d: %d queries, %d hits, %d coalesced, %d misses, %d failures, %d cached\n",
 			st.Gen, st.Queries, st.Hits, st.Coalesced, st.Misses, st.Failures, st.Cached)
+		// Connection counters exist only when a daemon fronts this backend;
+		// line mode stays short so session parity with the wire rendering
+		// holds.
+		if st.ConnsKnown {
+			fmt.Fprintf(out, "conns: %d accepted, %d evicted-slow, %d refused\n",
+				st.Accepted, st.EvictedSlow, st.Refused)
+		}
 	case "fail", "restore":
 		a, b, ok := twoIDs(fields[1:])
 		if !ok {

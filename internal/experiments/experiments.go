@@ -80,6 +80,7 @@ var independent = []func(int64) *metrics.Table{
 	E20RouteServer,
 	E21StateLifecycles,
 	E22ScopedInvalidation,
+	E23HAFailover,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

@@ -357,3 +357,49 @@ func TestE22ScopedInvalidation(t *testing.T) {
 		}
 	}
 }
+
+func TestE23HAFailover(t *testing.T) {
+	tbl := E23HAFailover(seed)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 workloads x 3 servers)", len(tbl.Rows))
+	}
+	type key struct{ model, server string }
+	rows := map[key][]string{}
+	for _, row := range tbl.Rows {
+		// The legality oracle is absolute on every server, the promoted
+		// follower included: replicated state never serves an illegal route.
+		if row[6] != row[3] {
+			t.Errorf("%s/%s: legal-ok %s of %s", row[0], row[1], row[6], row[3])
+		}
+		rows[key{row[0], row[1]}] = row
+	}
+	for _, model := range []string{"uniform", "zipf"} {
+		warm := rows[key{model, "warm"}]
+		promoted := rows[key{model, "promoted"}]
+		cold := rows[key{model, "cold"}]
+		if warm == nil || promoted == nil || cold == nil {
+			t.Fatalf("missing rows for %s", model)
+		}
+		// The headline failover claim: the promoted follower keeps at least
+		// half of the reference hit rate (in fact the sync barrier makes it
+		// identical) and beats the cold restart outright.
+		warmHit, promHit, coldHit := parseFloat(t, warm[5]), parseFloat(t, promoted[5]), parseFloat(t, cold[5])
+		if promHit < warmHit/2 {
+			t.Errorf("%s: promoted hit-rate %.3f below half of warm %.3f", model, promHit, warmHit)
+		}
+		if promHit <= coldHit {
+			t.Errorf("%s: promoted hit-rate %.3f not above cold restart %.3f", model, promHit, coldHit)
+		}
+		// The cache column shows why: replication hands the follower a warm
+		// cache, the restart starts empty and pays for it in synthesis.
+		if parseFloat(t, promoted[2]) == 0 {
+			t.Errorf("%s: promoted follower's cache is empty", model)
+		}
+		if cold[2] != "0" {
+			t.Errorf("%s: cold restart cache = %s, want 0", model, cold[2])
+		}
+		if parseFloat(t, cold[4]) <= parseFloat(t, warm[4]) {
+			t.Errorf("%s: cold synth %s not above warm %s", model, cold[4], warm[4])
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/routeserver"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
+	"repro/internal/wire"
 )
 
 // Backend bundles the serving state one daemon (or line-mode session)
@@ -41,6 +42,15 @@ type Backend struct {
 	// removed remembers links taken down by Fail so Restore can re-add
 	// them with their original class and cost.
 	removed map[[2]ad.ID]ad.Link
+
+	// replicate, when set, is called inside each control mutation's
+	// MutateScoped closure — i.e. under the server's strategy lock — so an
+	// HA primary appends the op to its sync backlog in exactly the order
+	// mutations interleave with cache inserts. Nil outside an HA group.
+	replicate func(op uint8, a, b ad.ID, cost uint32)
+	// connMetrics, when set, reports the daemon's connection counters for
+	// the stats command. Nil on front ends with no daemon (line mode).
+	connMetrics func() Metrics
 }
 
 // Stats is the serving-counter snapshot the stats command reports.
@@ -52,6 +62,13 @@ type Stats struct {
 	Misses    uint64
 	Failures  uint64
 	Cached    int
+	// Connection counters, filled only when the backend fronts a daemon
+	// (ConnsKnown true): sessions accepted, evicted for slow consumption,
+	// and refused at the connection limit or during drain.
+	ConnsKnown  bool
+	Accepted    uint64
+	EvictedSlow uint64
+	Refused     uint64
 }
 
 // NewBackend wires a backend over the serving stack.
@@ -64,6 +81,31 @@ func NewBackend(srv *routeserver.Server, dp *routeserver.DataPlane, g *ad.Graph,
 
 // Server returns the wrapped route server.
 func (b *Backend) Server() *routeserver.Server { return b.srv }
+
+// SetReplicator registers the HA replication hook; fn is invoked inside
+// every control mutation's exclusive section. Set it before the backend
+// starts serving.
+func (b *Backend) SetReplicator(fn func(op uint8, a, b ad.ID, cost uint32)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.replicate = fn
+}
+
+// SetConnMetrics registers the daemon connection-counter source the stats
+// command reports. daemon.New wires it automatically.
+func (b *Backend) SetConnMetrics(fn func() Metrics) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.connMetrics = fn
+}
+
+// repl calls the replication hook if one is registered. Callers hold the
+// strategy lock (it runs inside MutateScoped closures).
+func (b *Backend) repl(op uint8, x, y ad.ID, cost uint32) {
+	if b.replicate != nil {
+		b.replicate(op, x, y, cost)
+	}
+}
 
 // Query answers one route request.
 func (b *Backend) Query(req policy.Request) routeserver.Result {
@@ -81,7 +123,10 @@ func (b *Backend) Fail(x, y ad.ID) (evicted, retained, flushed int, err error) {
 	}
 	b.removed[[2]ad.ID{link.A, link.B}] = link
 	evicted, retained = b.srv.MutateScoped(
-		synthesis.LinkDownChange(x, y), func() { b.g.RemoveLink(x, y) })
+		synthesis.LinkDownChange(x, y), func() {
+			b.g.RemoveLink(x, y)
+			b.repl(wire.CtlFail, x, y, 0)
+		})
 	flushed = b.dp.InvalidateLink(x, y)
 	return evicted, retained, flushed, nil
 }
@@ -99,7 +144,10 @@ func (b *Backend) Restore(x, y ad.ID) (evicted, retained int, err error) {
 	}
 	delete(b.removed, [2]ad.ID{key.A, key.B})
 	evicted, retained = b.srv.MutateScoped(
-		synthesis.LinkUpChange(x, y), func() { _ = b.g.AddLink(link) })
+		synthesis.LinkUpChange(x, y), func() {
+			_ = b.g.AddLink(link)
+			b.repl(wire.CtlRestore, x, y, 0)
+		})
 	return evicted, retained, nil
 }
 
@@ -111,7 +159,10 @@ func (b *Backend) SetPolicy(a ad.ID, cost uint32) (evicted, retained int) {
 	term := policy.OpenTerm(a, 0)
 	term.Cost = cost
 	ch := synthesis.PolicyChangeOf(b.db.DiffTerms(a, []policy.Term{term}))
-	return b.srv.MutateScoped(ch, func() { b.db.SetTerms(a, []policy.Term{term}) })
+	return b.srv.MutateScoped(ch, func() {
+		b.db.SetTerms(a, []policy.Term{term})
+		b.repl(wire.CtlPolicy, a, 0, cost)
+	})
 }
 
 // Invalidate forces the full generation bump, restoring optimality after
@@ -119,14 +170,14 @@ func (b *Backend) SetPolicy(a ad.ID, cost uint32) (evicted, retained int) {
 func (b *Backend) Invalidate() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.srv.Invalidate()
+	b.srv.Mutate(func() { b.repl(wire.CtlInvalidate, 0, 0, 0) })
 	return b.srv.Generation()
 }
 
 // Stats snapshots the serving counters.
 func (b *Backend) Stats() Stats {
 	m := b.srv.Snapshot()
-	return Stats{
+	st := Stats{
 		Gen:       b.srv.Generation(),
 		Queries:   m.Queries,
 		Hits:      m.Hits,
@@ -135,6 +186,17 @@ func (b *Backend) Stats() Stats {
 		Failures:  m.Failures,
 		Cached:    b.srv.CacheLen(),
 	}
+	b.mu.Lock()
+	connMetrics := b.connMetrics
+	b.mu.Unlock()
+	if connMetrics != nil {
+		cm := connMetrics()
+		st.ConnsKnown = true
+		st.Accepted = cm.Accepted
+		st.EvictedSlow = cm.Evicted
+		st.Refused = cm.Refused
+	}
+	return st
 }
 
 // Install serves a route for req and installs it as PG handle state.

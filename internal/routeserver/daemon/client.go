@@ -4,12 +4,30 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/policy"
 	"repro/internal/routeserver"
 	"repro/internal/wire"
 )
+
+// NotPrimaryError is returned when a request landed on an HA follower:
+// the daemon answered with a redirect instead of serving. Addr is the
+// current primary's client address ("" when the follower knows no live
+// primary yet, e.g. mid-election).
+type NotPrimaryError struct {
+	PrimaryID uint32
+	Addr      string
+}
+
+// Error implements error.
+func (e *NotPrimaryError) Error() string {
+	if e.Addr == "" {
+		return "daemon: not primary (no known primary)"
+	}
+	return fmt.Sprintf("daemon: not primary, redirect to replica %d at %s", e.PrimaryID, e.Addr)
+}
 
 // Client is a synchronous protocol client: one request on the wire at a
 // time, each reply matched to its request ID. Not safe for concurrent use;
@@ -20,6 +38,12 @@ type Client struct {
 	bw   *bufio.Writer
 	br   *bufio.Reader
 	seq  uint64
+
+	// Timeout, when positive, bounds each round trip: a reply not arriving
+	// within it fails the request with a timeout error. Failover clients
+	// use it as their liveness probe — a wedged primary looks exactly like
+	// a dead one.
+	Timeout time.Duration
 }
 
 // Dial connects a client to a daemon ("tcp", "unix").
@@ -43,15 +67,27 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and reads its reply.
+// roundTrip sends one request and reads its reply. A NotPrimary reply is
+// surfaced as *NotPrimaryError on every request kind.
 func (c *Client) roundTrip(m wire.Message) (wire.Message, error) {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := wire.WriteMessage(c.bw, m); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	return wire.ReadMessage(c.br)
+	rep, err := wire.ReadMessage(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if np, ok := rep.(*wire.NotPrimary); ok {
+		return nil, &NotPrimaryError{PrimaryID: np.PrimaryID, Addr: np.Addr}
+	}
+	return rep, nil
 }
 
 // Query asks for a route.

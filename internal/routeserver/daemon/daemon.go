@@ -69,17 +69,40 @@ type Daemon struct {
 	refused  atomic.Uint64
 	evicted  atomic.Uint64
 	requests atomic.Uint64
+
+	redirect atomic.Pointer[redirectFunc]
 }
 
-// New builds a daemon over the backend.
+// redirectFunc reports whether requests should be redirected and where:
+// an HA follower answers Query/Control/DataOp with NotPrimary naming the
+// current primary's client address.
+type redirectFunc func() (primaryID uint32, addr string, redirect bool)
+
+// New builds a daemon over the backend and wires the backend's stats
+// command to this daemon's connection counters.
 func New(be *Backend, cfg Config) *Daemon {
-	return &Daemon{
+	d := &Daemon{
 		be:        be,
 		cfg:       cfg.normalize(),
 		sessions:  make(map[*session]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		done:      make(chan struct{}),
 	}
+	be.SetConnMetrics(d.Metrics)
+	return d
+}
+
+// SetRedirect installs (or with nil removes) the HA redirect gate: while
+// fn reports true, Query/Control/DataOp requests are answered with
+// NotPrimary instead of being dispatched. Stats and Drain are always
+// served locally — operators can inspect and drain a follower directly.
+func (d *Daemon) SetRedirect(fn func() (primaryID uint32, addr string, redirect bool)) {
+	if fn == nil {
+		d.redirect.Store(nil)
+		return
+	}
+	rf := redirectFunc(fn)
+	d.redirect.Store(&rf)
 }
 
 // Serve accepts connections on ln until the listener closes. It returns
@@ -168,6 +191,32 @@ func (d *Daemon) Drain() {
 		close(d.done)
 	})
 	<-d.done
+}
+
+// Kill shuts the daemon down abruptly: stop accepting and close every
+// live session's connection without flushing queued replies — the
+// SIGKILL model HA failover is built against (clients observe connection
+// errors, not a drain). Blocks until every session goroutine has exited.
+// A later Drain still completes (and closes Done) immediately.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	d.draining = true
+	lns := make([]net.Listener, 0, len(d.listeners))
+	for ln := range d.listeners {
+		lns = append(lns, ln)
+	}
+	sess := make([]*session, 0, len(d.sessions))
+	for s := range d.sessions {
+		sess = append(sess, s)
+	}
+	d.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, s := range sess {
+		s.close()
+	}
+	d.wg.Wait()
 }
 
 // Done is closed once a drain has completed.
@@ -296,6 +345,22 @@ func (s *session) close() {
 // the reply. The drain result asks the session to trigger a daemon drain
 // after the ack is queued.
 func (d *Daemon) dispatch(m wire.Message) (reply wire.Message, drain bool) {
+	if p := d.redirect.Load(); p != nil {
+		switch q := m.(type) {
+		case *wire.Query:
+			if id, addr, redir := (*p)(); redir {
+				return &wire.NotPrimary{ID: q.ID, PrimaryID: id, Addr: addr}, false
+			}
+		case *wire.Control:
+			if id, addr, redir := (*p)(); redir {
+				return &wire.NotPrimary{ID: q.ID, PrimaryID: id, Addr: addr}, false
+			}
+		case *wire.DataOp:
+			if id, addr, redir := (*p)(); redir {
+				return &wire.NotPrimary{ID: q.ID, PrimaryID: id, Addr: addr}, false
+			}
+		}
+	}
 	switch q := m.(type) {
 	case *wire.Query:
 		res := d.be.Query(q.Req)
@@ -372,7 +437,8 @@ func (d *Daemon) dispatch(m wire.Message) (reply wire.Message, drain bool) {
 		return &wire.StatsReply{
 			ID: q.ID, Gen: st.Gen, Queries: st.Queries, Hits: st.Hits,
 			Coalesced: st.Coalesced, Misses: st.Misses, Failures: st.Failures,
-			Cached: uint64(st.Cached),
+			Cached:   uint64(st.Cached),
+			Accepted: st.Accepted, EvictedSlow: st.EvictedSlow, Refused: st.Refused,
 		}, false
 
 	case *wire.Drain:

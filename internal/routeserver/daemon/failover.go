@@ -1,0 +1,226 @@
+package daemon
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ad"
+	"repro/internal/policy"
+	"repro/internal/routeserver"
+	"repro/internal/wire"
+)
+
+// backoff is the capped jittered retry delay shared by the failover
+// client and the load harness: base doubles per consecutive failure up to
+// cap, and each sleep is jittered to half-to-full of the current value so
+// a thundering herd of reconnecting clients spreads out. The rng is
+// caller-owned (one per client goroutine).
+type backoff struct {
+	base, cap time.Duration
+	cur       time.Duration
+	rng       *rand.Rand
+}
+
+func newBackoff(base, cap time.Duration, rng *rand.Rand) *backoff {
+	if base <= 0 {
+		base = 500 * time.Microsecond
+	}
+	if cap <= 0 {
+		cap = 50 * time.Millisecond
+	}
+	return &backoff{base: base, cap: cap, rng: rng}
+}
+
+// sleep waits the current delay (jittered) and doubles it toward the cap.
+func (b *backoff) sleep() {
+	if b.cur <= 0 {
+		b.cur = b.base
+	}
+	d := b.cur/2 + time.Duration(b.rng.Int63n(int64(b.cur/2)+1))
+	time.Sleep(d)
+	b.cur *= 2
+	if b.cur > b.cap {
+		b.cur = b.cap
+	}
+}
+
+// reset returns to the base delay after a success.
+func (b *backoff) reset() { b.cur = 0 }
+
+// FailoverStats counts a failover client's recovery work.
+type FailoverStats struct {
+	// Redirects counts NotPrimary replies followed to a named primary.
+	Redirects uint64
+	// Reconnects counts redials after a connection error (dead replica,
+	// refused connection, timeout).
+	Reconnects uint64
+	// Failures counts dial or connect attempts that did not yield a
+	// usable connection.
+	Failures uint64
+}
+
+// Failover is a client over an HA replica group: it talks to one replica
+// at a time, follows NotPrimary redirects to the current primary, and on
+// connection errors or timeouts rotates to the next replica address with
+// capped jittered backoff. Like Client it is synchronous and not safe for
+// concurrent use.
+type Failover struct {
+	network string
+	addrs   []string
+	timeout time.Duration
+	cur     int    // index into addrs of the preferred dial target
+	target  string // explicit redirect target, overrides addrs[cur] once
+	cl      *Client
+	bo      *backoff
+	stats   FailoverStats
+}
+
+// maxAttempts is the floor of one request's recovery loop: enough to try
+// every replica twice plus follow a redirect from each. The loop also
+// keeps retrying until the request timeout has elapsed, so a request only
+// fails once the group has been unreachable for a full timeout window —
+// an election shorter than that (the common case) is invisible to the
+// caller beyond latency.
+func (f *Failover) maxAttempts() int { return 3*len(f.addrs) + 2 }
+
+// DialFailover builds a failover client over the replica client addresses
+// (tried in order; the first that accepts and serves wins). timeout
+// bounds each round trip — it is the client-side heartbeat that detects a
+// dead primary whose TCP peer never closed. Connections are established
+// lazily on first use. seed derandomizes the backoff jitter for tests.
+func DialFailover(network string, addrs []string, timeout time.Duration, seed int64) *Failover {
+	rng := rand.New(rand.NewSource(seed))
+	return &Failover{
+		network: network,
+		addrs:   append([]string(nil), addrs...),
+		timeout: timeout,
+		bo:      newBackoff(0, 0, rng),
+	}
+}
+
+// RecoveryStats returns the redirect/reconnect counters.
+func (f *Failover) RecoveryStats() FailoverStats { return f.stats }
+
+// Close drops the current connection (a later request redials).
+func (f *Failover) Close() error {
+	if f.cl == nil {
+		return nil
+	}
+	err := f.cl.Close()
+	f.cl = nil
+	return err
+}
+
+// connect ensures a live connection, dialing the redirect target if one
+// is pending, else the current rotation address.
+func (f *Failover) connect() error {
+	if f.cl != nil {
+		return nil
+	}
+	addr := f.addrs[f.cur%len(f.addrs)]
+	if f.target != "" {
+		addr = f.target
+		f.target = ""
+	}
+	cl, err := Dial(f.network, addr)
+	if err != nil {
+		f.stats.Failures++
+		f.cur++ // rotate off the dead replica
+		return err
+	}
+	cl.Timeout = f.timeout
+	f.cl = cl
+	return nil
+}
+
+// fail records a broken connection and rotates to the next replica.
+func (f *Failover) fail() {
+	f.Close()
+	f.stats.Reconnects++
+	f.cur++
+}
+
+// do runs op against the group until it succeeds or the attempt budget is
+// spent. op runs on a connected client; a NotPrimaryError re-aims the
+// next dial at the named primary, any other error rotates replicas.
+func (f *Failover) do(op func(*Client) error) error {
+	var lastErr error
+	var deadline time.Time
+	if f.timeout > 0 {
+		deadline = time.Now().Add(f.timeout)
+	}
+	retry := func(attempt int) bool {
+		return attempt < f.maxAttempts() ||
+			(!deadline.IsZero() && time.Now().Before(deadline))
+	}
+	for attempt := 0; retry(attempt); attempt++ {
+		if err := f.connect(); err != nil {
+			lastErr = err
+			f.bo.sleep()
+			continue
+		}
+		err := op(f.cl)
+		if err == nil {
+			f.bo.reset()
+			return nil
+		}
+		lastErr = err
+		if np, ok := err.(*NotPrimaryError); ok {
+			f.Close()
+			if np.Addr != "" {
+				f.target = np.Addr
+				f.stats.Redirects++
+				// A redirect is information, not a failure: dial the
+				// primary immediately.
+				continue
+			}
+			// Follower knows no primary yet (mid-election): back off and
+			// retry the rotation.
+			f.stats.Reconnects++
+			f.bo.sleep()
+			continue
+		}
+		f.fail()
+		f.bo.sleep()
+	}
+	return fmt.Errorf("daemon: failover exhausted %d attempts: %w", f.maxAttempts(), lastErr)
+}
+
+// Query asks for a route, failing over as needed.
+func (f *Failover) Query(req policy.Request) (routeserver.Result, error) {
+	var res routeserver.Result
+	err := f.do(func(c *Client) error {
+		var err error
+		res, err = c.Query(req)
+		return err
+	})
+	return res, err
+}
+
+// Control issues a control-plane mutation, failing over as needed. The
+// churn ops the load harness replays (fail/restore/policy) are idempotent
+// at the backend, so retrying after a mid-request connection loss is
+// safe; the reply's error code (e.g. "link was not failed here" after a
+// retried restore landed twice) is returned to the caller as-is.
+func (f *Failover) Control(op uint8, a, b ad.ID, cost uint32) (*wire.ControlReply, error) {
+	var rep *wire.ControlReply
+	err := f.do(func(c *Client) error {
+		var err error
+		rep, err = c.Control(op, a, b, cost)
+		return err
+	})
+	return rep, err
+}
+
+// Stats fetches the serving counters from whichever replica currently
+// serves this client (followers answer stats directly).
+func (f *Failover) Stats() (*wire.StatsReply, error) {
+	var rep *wire.StatsReply
+	err := f.do(func(c *Client) error {
+		var err error
+		rep, err = c.Stats()
+		return err
+	})
+	return rep, err
+}

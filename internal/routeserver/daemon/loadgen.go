@@ -21,6 +21,18 @@ type LoadConfig struct {
 	// Events is the control-plane churn timeline, sent from a dedicated
 	// connection as each event's workload fraction is reached.
 	Events []ChurnEvent
+	// Addrs is the HA replica set's client addresses. When set, every
+	// client is a failover client over these addresses (the addr argument
+	// to LoadRun is ignored): NotPrimary redirects are followed and dead
+	// replicas rotated past. Empty = single-server mode against addr.
+	Addrs []string
+	// Timeout bounds each request round trip (failover mode only); it is
+	// the client-side heartbeat that detects a silently dead primary.
+	// Default 2s.
+	Timeout time.Duration
+	// Seed derandomizes the reconnect-backoff jitter (default 1; each
+	// client derives its own stream from it).
+	Seed int64
 }
 
 // ChurnEvent is one control-plane mutation in a load run's timeline.
@@ -37,16 +49,33 @@ func (c LoadConfig) normalize() LoadConfig {
 	if c.Clients <= 0 {
 		c.Clients = 4
 	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	return c
 }
 
 // LoadReport summarizes a network load run.
 type LoadReport struct {
 	// Requests is the workload length; Served of them found a route,
-	// NoRoute did not, and Errors hit connection failures.
+	// NoRoute did not, and Errors hit connection failures that survived
+	// every retry.
 	Requests, Served, NoRoute, Errors int
-	// Reconnects counts connection-churn redials across all clients.
+	// Reconnects counts voluntary connection-churn redials plus failover
+	// rotations off a dead replica.
 	Reconnects int
+	// ReconnectFailures counts dial attempts that failed (connection
+	// refused at -max-conns, dead primary before failover kicks in): each
+	// one cost a backoff sleep before the next attempt.
+	ReconnectFailures int
+	// Redirects counts NotPrimary replies followed to the named primary.
+	Redirects int
+	// MaxStall is the longest gap between consecutive successful replies
+	// across all clients — the availability gap a failover opens.
+	MaxStall time.Duration
 	// Elapsed is the serving phase's wall-clock duration; QPS is
 	// Requests/Elapsed.
 	Elapsed time.Duration
@@ -55,16 +84,44 @@ type LoadReport struct {
 	Latency metrics.LatencySummary
 }
 
-// LoadRun replays the workload against a live daemon from cfg.Clients
-// concurrent connections — client i takes requests i, i+C, i+2C, … — with
-// optional connection churn and control-plane events, and blocks until
-// every request is answered. Unlike routeserver.Run this exercises the
-// full network path: framing, session queues, backpressure.
+// stallTracker records the longest gap between consecutive successful
+// replies, cluster-wide.
+type stallTracker struct {
+	mu     sync.Mutex
+	last   time.Time
+	maxGap time.Duration
+}
+
+func (st *stallTracker) start(t time.Time) { st.last = t }
+
+func (st *stallTracker) success(t time.Time) {
+	st.mu.Lock()
+	if gap := t.Sub(st.last); gap > st.maxGap {
+		st.maxGap = gap
+	}
+	if t.After(st.last) {
+		st.last = t
+	}
+	st.mu.Unlock()
+}
+
+// LoadRun replays the workload against a live daemon (or, with
+// cfg.Addrs, an HA replica group) from cfg.Clients concurrent
+// connections — client i takes requests i, i+C, i+2C, … — with optional
+// connection churn and control-plane events, and blocks until every
+// request is answered or exhausts its retries. Unlike routeserver.Run
+// this exercises the full network path: framing, session queues,
+// backpressure, and (in failover mode) redirect-following and
+// reconnect-with-backoff against dead or refusing replicas.
 func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) LoadReport {
 	cfg = cfg.normalize()
 	rep := LoadReport{Requests: len(workload)}
 	if len(workload) == 0 {
 		return rep
+	}
+	addrs := cfg.Addrs
+	if len(addrs) == 0 {
+		addrs = []string{addr}
 	}
 	n := cfg.Clients
 	if n > len(workload) {
@@ -75,13 +132,17 @@ func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) Lo
 		progress   atomic.Uint64 // requests answered so far
 		served     atomic.Uint64
 		noRoute    atomic.Uint64
-		errors     atomic.Uint64
+		errCount   atomic.Uint64
 		reconnects atomic.Uint64
+		dialFails  atomic.Uint64
+		redirects  atomic.Uint64
 		hist       metrics.Histogram
+		stalls     stallTracker
 	)
 
 	// Churn driver: a dedicated control connection fires events in order
-	// as the answered-request count crosses their fractions.
+	// as the answered-request count crosses their fractions. It fails over
+	// like the workload clients so the timeline survives a primary kill.
 	stop := make(chan struct{})
 	churnDone := make(chan struct{})
 	go func() {
@@ -89,10 +150,7 @@ func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) Lo
 		if len(cfg.Events) == 0 {
 			return
 		}
-		ctl, err := Dial(network, addr)
-		if err != nil {
-			return
-		}
+		ctl := DialFailover(network, addrs, cfg.Timeout, cfg.Seed)
 		defer ctl.Close()
 		for _, ev := range cfg.Events {
 			threshold := uint64(ev.After * float64(len(workload)))
@@ -111,30 +169,19 @@ func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) Lo
 	}()
 
 	start := time.Now()
+	stalls.start(start)
 	var wg sync.WaitGroup
 	for c := 0; c < n; c++ {
 		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := Dial(network, addr)
-			if err != nil {
-				for i := c; i < len(workload); i += n {
-					errors.Add(1)
-					progress.Add(1)
-				}
-				return
-			}
-			defer func() { cl.Close() }()
+			cl := DialFailover(network, addrs, cfg.Timeout, cfg.Seed+int64(c))
+			defer cl.Close()
 			sent := 0
 			for i := c; i < len(workload); i += n {
 				if cfg.ReconnectEvery > 0 && sent > 0 && sent%cfg.ReconnectEvery == 0 {
 					cl.Close()
-					if cl, err = Dial(network, addr); err != nil {
-						errors.Add(1)
-						progress.Add(1)
-						return
-					}
 					reconnects.Add(1)
 				}
 				t0 := time.Now()
@@ -142,15 +189,21 @@ func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) Lo
 				hist.Observe(time.Since(t0))
 				switch {
 				case err != nil:
-					errors.Add(1)
+					errCount.Add(1)
 				case res.Found:
 					served.Add(1)
+					stalls.success(time.Now())
 				default:
 					noRoute.Add(1)
+					stalls.success(time.Now())
 				}
 				progress.Add(1)
 				sent++
 			}
+			fs := cl.RecoveryStats()
+			reconnects.Add(fs.Reconnects)
+			dialFails.Add(fs.Failures)
+			redirects.Add(fs.Redirects)
 		}()
 	}
 	wg.Wait()
@@ -161,8 +214,11 @@ func LoadRun(network, addr string, workload []policy.Request, cfg LoadConfig) Lo
 
 	rep.Served = int(served.Load())
 	rep.NoRoute = int(noRoute.Load())
-	rep.Errors = int(errors.Load())
+	rep.Errors = int(errCount.Load())
 	rep.Reconnects = int(reconnects.Load())
+	rep.ReconnectFailures = int(dialFails.Load())
+	rep.Redirects = int(redirects.Load())
+	rep.MaxStall = stalls.maxGap
 	if rep.Elapsed > 0 {
 		rep.QPS = float64(rep.Requests) / rep.Elapsed.Seconds()
 	}

@@ -1,0 +1,116 @@
+package ha
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// backlog is the primary's replication log: a seq-ordered record of every
+// cache put and control mutation, appended under the route server's
+// strategy lock so log order equals application order. Cache puts are
+// trimmed once more than capPuts of them accumulate — a lagging follower
+// whose cursor precedes the trim horizon cuts over to a snapshot instead
+// of replaying them — while control mutations are never trimmed: they are
+// rare, tiny, and replaying the missing suffix of control history is what
+// lets a snapshot receiver's own graph and policy state converge on the
+// primary's.
+type backlog struct {
+	mu sync.Mutex
+	// capPuts bounds retained SyncPut entries.
+	capPuts int
+	// ents holds the retained entries in ascending Seq order. Trimming
+	// puts leaves gaps; control entries persist.
+	ents []wire.SyncEntry
+	puts int
+	// seq is the last assigned sequence number.
+	seq uint64
+	// trimmedThrough is the highest Seq of any trimmed put: a follower
+	// cursor below it cannot be served incrementally.
+	trimmedThrough uint64
+	// changed is closed and replaced on every append, waking senders
+	// blocked in waitChanged.
+	changed chan struct{}
+}
+
+func newBacklog(capPuts int) *backlog {
+	if capPuts <= 0 {
+		capPuts = 4096
+	}
+	return &backlog{capPuts: capPuts, changed: make(chan struct{})}
+}
+
+// append assigns the next sequence number to e, stores it, and trims the
+// oldest put if the put cap is exceeded. Returns the assigned seq.
+func (b *backlog) append(e wire.SyncEntry) uint64 {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	b.ents = append(b.ents, e)
+	if e.Op == wire.SyncPut {
+		b.puts++
+	}
+	for b.puts > b.capPuts {
+		for i := range b.ents {
+			if b.ents[i].Op == wire.SyncPut {
+				b.trimmedThrough = b.ents[i].Seq
+				b.ents = append(b.ents[:i], b.ents[i+1:]...)
+				b.puts--
+				break
+			}
+		}
+	}
+	close(b.changed)
+	b.changed = make(chan struct{})
+	seq := b.seq
+	b.mu.Unlock()
+	return seq
+}
+
+// latest returns the last assigned sequence number.
+func (b *backlog) latest() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// from returns a copy of every entry with Seq > cursor, and whether the
+// cursor can be served incrementally at all: false means a put past the
+// cursor has been trimmed and the caller must cut over to a snapshot.
+func (b *backlog) from(cursor uint64) ([]wire.SyncEntry, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cursor < b.trimmedThrough {
+		return nil, false
+	}
+	var out []wire.SyncEntry
+	for _, e := range b.ents {
+		if e.Seq > cursor {
+			out = append(out, e)
+		}
+	}
+	return out, true
+}
+
+// ctlsIn returns a copy of the control entries with lo < Seq <= hi — the
+// control history a snapshot receiver is missing. Control entries are
+// never trimmed, so this range is always complete.
+func (b *backlog) ctlsIn(lo, hi uint64) []wire.SyncEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []wire.SyncEntry
+	for _, e := range b.ents {
+		if e.Op == wire.SyncCtl && e.Seq > lo && e.Seq <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// waitChanged returns a channel closed at the next append after this
+// call's lock acquisition.
+func (b *backlog) waitChanged() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.changed
+}

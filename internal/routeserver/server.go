@@ -58,6 +58,12 @@ func KeyOf(req policy.Request) Key {
 	return Key{Src: req.Src, Dst: req.Dst, QOS: req.QOS, UCI: req.UCI, Hour: req.Hour}
 }
 
+// Request reconstructs the request a key stands for (keys carry every
+// request field). Replication uses it to ship cache entries as requests.
+func (k Key) Request() policy.Request {
+	return policy.Request{Src: k.Src, Dst: k.Dst, QOS: k.QOS, UCI: k.UCI, Hour: k.Hour}
+}
+
 // hash is FNV-1a over the key's fields, used to pick a cache shard.
 func (k Key) hash() uint32 {
 	h := uint32(2166136261)
@@ -335,6 +341,7 @@ type Server struct {
 	sfCalls  map[sfKey]*call
 	stratMu  sync.Mutex // serializes strategy calls and invalidation mutations
 	strategy synthesis.Strategy
+	onInsert func(Key, Result, synthesis.Footprint)
 }
 
 // New wraps the strategy in a serving layer. The strategy must not be used
@@ -491,6 +498,12 @@ func (s *Server) compute(req policy.Request) Result {
 		fp = s.strategy.Footprint(req, path)
 	}
 	s.insert(KeyOf(req), gen, res, fp)
+	if s.onInsert != nil {
+		// Still under stratMu: the hook observes inserts and mutations
+		// (MutateScoped also holds stratMu) in one total order, which is
+		// what lets HA replication replay them in stream order.
+		s.onInsert(KeyOf(req), res, fp)
+	}
 	return res
 }
 
@@ -551,6 +564,70 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 	s.met.scopedEvicted.Add(uint64(evicted))
 	s.met.scopedRetained.Add(uint64(retained))
 	return evicted, retained
+}
+
+// OnInsert registers a hook called — under the strategy lock, in the same
+// total order as scoped mutations — every time a computed result is
+// inserted into the cache. HA replication uses it to append cache puts to
+// the sync backlog; entries installed via InstallEntry do not fire it (a
+// follower must not re-replicate what it is replaying). Set it before the
+// server starts serving.
+func (s *Server) OnInsert(fn func(Key, Result, synthesis.Footprint)) {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	s.onInsert = fn
+}
+
+// CacheEntry is one exported warm-cache entry: key, answer, and the
+// dependency footprint that feeds the reverse index. DumpEntries returns
+// them and InstallEntry re-creates them, which is how a primary ships its
+// warm state to followers.
+type CacheEntry struct {
+	Key Key
+	Res Result
+	Fp  synthesis.Footprint
+}
+
+// InstallEntry inserts a replicated entry at the current generation,
+// indexing its footprint exactly as a computed result would be. It takes
+// the strategy lock so installs serialize with queries and mutations; the
+// OnInsert hook does not fire.
+func (s *Server) InstallEntry(k Key, res Result, fp synthesis.Footprint) {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	s.insert(k, s.gen.Load(), res, fp)
+}
+
+// DumpEntries copies every current-generation cache entry under the
+// strategy lock, so the dump is a consistent cut: no mutation or insert
+// can interleave with it. fn (optional) runs first under the same lock
+// hold — HA replication uses it to record the sync-backlog position the
+// cut corresponds to, making snapshot + subsequent incremental entries
+// seamless.
+func (s *Server) DumpEntries(fn func()) []CacheEntry {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	gen := s.gen.Load()
+	var out []CacheEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.lru.Range(func(k Key, c cached) bool {
+			if c.gen == gen {
+				out = append(out, CacheEntry{
+					Key: k,
+					Res: Result{Path: c.path, Found: c.found},
+					Fp:  c.fp,
+				})
+			}
+			return true
+		})
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // StrategyStats returns the wrapped strategy's cumulative instrumentation.

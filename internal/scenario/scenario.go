@@ -164,7 +164,11 @@ type ProtocolSpec struct {
 
 // Event is one timeline entry, applied after the previous phase converges.
 type Event struct {
-	// Action is "fail", "restore", or "update-policy".
+	// Action is "fail", "restore", "update-policy", or "kill-primary".
+	// kill-primary models a route-server replica failover: in single-server
+	// replay it compiles to a full invalidation (the cold cache a restarted
+	// server — or an unreplicated standby — starts from); protocol
+	// simulations re-evaluate without mutating the network.
 	Action string `json:"action"`
 	// A and B are the link endpoints for fail/restore.
 	A uint32 `json:"a,omitempty"`
@@ -375,6 +379,12 @@ func (sc *Scenario) Mutations(g *ad.Graph, db *policy.DB) ([]Mutation, error) {
 				Apply:  func() { db.SetTerms(id, terms) },
 				Change: synthesis.PolicyChangeAt(id),
 			})
+		case "kill-primary":
+			out = append(out, Mutation{
+				Label:  "kill-primary",
+				Apply:  func() {},
+				Change: synthesis.FullChange(),
+			})
 		default:
 			return nil, fmt.Errorf("scenario: event %d: unknown action %q", i+1, ev.Action)
 		}
@@ -447,6 +457,10 @@ func (sc *Scenario) Run(w io.Writer) error {
 				return fmt.Errorf("scenario: event %d: %w", i+1, err)
 			}
 			label = fmt.Sprintf("event %d: update-policy %v (%d terms)", i+1, ad.ID(ev.AD), len(terms))
+		case "kill-primary":
+			// A route-server replica event: the protocol network itself is
+			// untouched, so the phase just re-evaluates.
+			label = fmt.Sprintf("event %d: kill-primary", i+1)
 		default:
 			return fmt.Errorf("scenario: unknown event action %q", ev.Action)
 		}

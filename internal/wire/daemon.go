@@ -267,23 +267,30 @@ func (m *StatsQuery) appendBody(dst []byte) []byte { return appendU64(dst, m.ID)
 func (m *StatsQuery) decodeBody(r *reader) { m.ID = r.u64() }
 
 // StatsReply carries the serving counters: generation, query/hit/coalesce/
-// miss/failure totals, and the live cache size.
+// miss/failure totals, the live cache size, and the daemon's connection
+// counters (sessions accepted, evicted for slow consumption, refused at
+// the limit or during drain) so operators can observe connection churn
+// server-side. The connection counters are zero on front ends with no
+// daemon (stdin line mode).
 type StatsReply struct {
-	ID        uint64
-	Gen       uint64
-	Queries   uint64
-	Hits      uint64
-	Coalesced uint64
-	Misses    uint64
-	Failures  uint64
-	Cached    uint64
+	ID          uint64
+	Gen         uint64
+	Queries     uint64
+	Hits        uint64
+	Coalesced   uint64
+	Misses      uint64
+	Failures    uint64
+	Cached      uint64
+	Accepted    uint64
+	EvictedSlow uint64
+	Refused     uint64
 }
 
 // Type implements Message.
 func (*StatsReply) Type() MsgType { return TypeStatsReply }
 
 func (m *StatsReply) appendBody(dst []byte) []byte {
-	for _, v := range []uint64{m.ID, m.Gen, m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, m.Cached} {
+	for _, v := range []uint64{m.ID, m.Gen, m.Queries, m.Hits, m.Coalesced, m.Misses, m.Failures, m.Cached, m.Accepted, m.EvictedSlow, m.Refused} {
 		dst = appendU64(dst, v)
 	}
 	return dst
@@ -298,6 +305,9 @@ func (m *StatsReply) decodeBody(r *reader) {
 	m.Misses = r.u64()
 	m.Failures = r.u64()
 	m.Cached = r.u64()
+	m.Accepted = r.u64()
+	m.EvictedSlow = r.u64()
+	m.Refused = r.u64()
 }
 
 // Drain asks the daemon to shut down gracefully: stop accepting, finish

@@ -27,8 +27,25 @@ func daemonMessages() []Message {
 		&DataOpReply{ID: 6, Op: OpSend, Code: DataNoState, N1: 2, Path: ad.Path{}},
 		&DataOpReply{ID: 8, Op: OpState, Code: DataOK, Path: ad.Path{}, Text: "flows 3, pending-repairs 0"},
 		&StatsQuery{ID: 10},
-		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Coalesced: 5, Misses: 15, Failures: 2, Cached: 15},
+		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Coalesced: 5, Misses: 15, Failures: 2, Cached: 15,
+			Accepted: 40, EvictedSlow: 1, Refused: 3},
 		&Drain{ID: 11},
+		&Hello{ReplicaID: 2, Mode: ModeSync, Epoch: 3, FromSeq: 77},
+		&Hello{ReplicaID: 1, Mode: ModeHeartbeat, Epoch: 1},
+		&Heartbeat{ReplicaID: 1, Epoch: 3, Primary: 2, Seq: 120},
+		&SyncEntry{Seq: 9, Op: SyncPut,
+			Req: policy.Request{Src: 1, Dst: 9, QOS: 1, UCI: 1, Hour: 4}, Found: true,
+			Path:  ad.Path{1, 4, 9},
+			Links: [][2]ad.ID{{1, 4}, {4, 9}},
+			Terms: []policy.Key{{Advertiser: 4, Serial: 2}}},
+		&SyncEntry{Seq: 10, Op: SyncPut,
+			Req: policy.Request{Src: 1, Dst: 3}, Found: false, Path: ad.Path{}},
+		&SyncEntry{Seq: 11, Op: SyncCtl, Path: ad.Path{}, CtlOp: CtlFail, A: 2, B: 4},
+		&SyncSnapshot{Seq: 40, Count: 17},
+		&SyncSnapshot{Seq: 40, Done: true},
+		&Promote{ReplicaID: 2, Epoch: 4},
+		&NotPrimary{ID: 5, PrimaryID: 1, Addr: "127.0.0.1:4242"},
+		&NotPrimary{},
 	}
 }
 

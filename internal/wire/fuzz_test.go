@@ -107,8 +107,21 @@ func FuzzDecode(f *testing.F) {
 		&DataOp{ID: 5, Op: OpInstall, Req: policy.Request{Src: 1, Dst: 4}},
 		&DataOpReply{ID: 5, Op: OpInstall, Code: DataOK, Handle: 7, Path: ad.Path{1, 2, 4}, Text: "ok"},
 		&StatsQuery{ID: 10},
-		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Cached: 15},
+		&StatsReply{ID: 10, Gen: 1, Queries: 100, Hits: 80, Cached: 15,
+			Accepted: 40, EvictedSlow: 1, Refused: 3},
 		&Drain{ID: 11},
+		&Hello{ReplicaID: 2, Mode: ModeSync, Epoch: 3, FromSeq: 77},
+		&Heartbeat{ReplicaID: 1, Epoch: 3, Primary: 2, Seq: 120},
+		&SyncEntry{Seq: 9, Op: SyncPut,
+			Req: policy.Request{Src: 1, Dst: 9, QOS: 1}, Found: true,
+			Path:  ad.Path{1, 4, 9},
+			Links: [][2]ad.ID{{1, 4}, {4, 9}},
+			Terms: []policy.Key{{Advertiser: 4, Serial: 2}}},
+		&SyncEntry{Seq: 11, Op: SyncCtl, CtlOp: CtlFail, A: 2, B: 4},
+		&SyncSnapshot{Seq: 40, Count: 17},
+		&SyncSnapshot{Seq: 40, Done: true},
+		&Promote{ReplicaID: 2, Epoch: 4},
+		&NotPrimary{ID: 5, PrimaryID: 1, Addr: "127.0.0.1:4242"},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"repro/internal/ad"
+	"repro/internal/policy"
+)
+
+// Replication messages: an HA group of route-server daemons elects one
+// primary and streams its warm route cache — each entry with the
+// dependency footprint that feeds scoped invalidation — to followers, so
+// a promoted follower starts serving from warm state instead of an empty
+// cache. Two connection kinds share one listener, discriminated by
+// Hello.Mode: heartbeat links (periodic Heartbeat, occasional Promote)
+// and sync links (a SyncEntry stream, with SyncSnapshot bracketing a full
+// state transfer when the follower's cursor precedes the backlog's trim
+// horizon). NotPrimary doubles as the sync-link refusal from a
+// non-primary and the client-facing redirect on serving sessions.
+
+// Hello connection modes (Hello.Mode).
+const (
+	// ModeHeartbeat opens a failure-detection link: the dialer sends
+	// periodic Heartbeats (and Promotes) and reads nothing back.
+	ModeHeartbeat uint8 = iota
+	// ModeSync opens a replication link: the dialer is a follower asking
+	// the primary to stream backlog entries starting after FromSeq.
+	ModeSync
+)
+
+// Sync operation codes (SyncEntry.Op).
+const (
+	// SyncPut replicates one warm-cache entry (request, result, footprint).
+	SyncPut uint8 = iota
+	// SyncCtl replicates one control-plane mutation (CtlOp/A/B/Cost as in
+	// Control); the follower applies it through its own backend so scoped
+	// eviction replays naturally.
+	SyncCtl
+)
+
+// Hello opens a replication-listener connection and declares what it is.
+type Hello struct {
+	// ReplicaID identifies the dialing replica.
+	ReplicaID uint32
+	// Mode is ModeHeartbeat or ModeSync.
+	Mode uint8
+	// Epoch is the dialer's current election epoch.
+	Epoch uint64
+	// FromSeq (ModeSync) is the follower's applied cursor: stream entries
+	// with Seq > FromSeq, or cut over to a snapshot if they are gone.
+	FromSeq uint64
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+func (m *Hello) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.ReplicaID)
+	dst = append(dst, m.Mode)
+	dst = appendU64(dst, m.Epoch)
+	return appendU64(dst, m.FromSeq)
+}
+
+func (m *Hello) decodeBody(r *reader) {
+	m.ReplicaID = r.u32()
+	m.Mode = r.u8()
+	m.Epoch = r.u64()
+	m.FromSeq = r.u64()
+}
+
+// Heartbeat is the periodic liveness beacon on a heartbeat link. It also
+// carries the sender's view of the election — receivers adopt a strictly
+// higher epoch — and the sender's backlog position for lag observability.
+type Heartbeat struct {
+	ReplicaID uint32
+	Epoch     uint64
+	// Primary is the replica the sender believes leads Epoch.
+	Primary uint32
+	// Seq is the sender's latest backlog sequence (0 for followers).
+	Seq uint64
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+func (m *Heartbeat) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.ReplicaID)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, m.Primary)
+	return appendU64(dst, m.Seq)
+}
+
+func (m *Heartbeat) decodeBody(r *reader) {
+	m.ReplicaID = r.u32()
+	m.Epoch = r.u64()
+	m.Primary = r.u32()
+	m.Seq = r.u64()
+}
+
+// SyncEntry is one replicated backlog record: a warm-cache put (SyncPut)
+// or a control-plane mutation (SyncCtl). Followers apply entries strictly
+// in Seq order; the backlog assigns Seq under the same lock that orders
+// the primary's cache inserts and mutations, so stream order is
+// application order.
+type SyncEntry struct {
+	Seq uint64
+	Op  uint8
+
+	// SyncPut: the cached answer and its dependency footprint.
+	Req   policy.Request
+	Found bool
+	Path  ad.Path
+	// Links are the footprint's canonical link pairs; Terms the admitting
+	// policy-term keys (routeserver's byLink/byTerm reverse index).
+	Links [][2]ad.ID
+	Terms []policy.Key
+
+	// SyncCtl: the mutation, encoded like Control.
+	CtlOp uint8
+	A, B  ad.ID
+	Cost  uint32
+}
+
+// Type implements Message.
+func (*SyncEntry) Type() MsgType { return TypeSyncEntry }
+
+func (m *SyncEntry) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = append(dst, m.Op)
+	dst = appendRequest(dst, m.Req)
+	found := uint8(0)
+	if m.Found {
+		found = 1
+	}
+	dst = append(dst, found)
+	dst = appendPath(dst, m.Path)
+	dst = appendU16(dst, uint16(len(m.Links)))
+	for _, l := range m.Links {
+		dst = appendU32(dst, uint32(l[0]))
+		dst = appendU32(dst, uint32(l[1]))
+	}
+	dst = appendU16(dst, uint16(len(m.Terms)))
+	for _, t := range m.Terms {
+		dst = appendU32(dst, uint32(t.Advertiser))
+		dst = appendU32(dst, t.Serial)
+	}
+	dst = append(dst, m.CtlOp)
+	dst = appendU32(dst, uint32(m.A))
+	dst = appendU32(dst, uint32(m.B))
+	return appendU32(dst, m.Cost)
+}
+
+func (m *SyncEntry) decodeBody(r *reader) {
+	m.Seq = r.u64()
+	m.Op = r.u8()
+	m.Req = readRequest(r)
+	m.Found = r.u8() == 1
+	m.Path = readPath(r)
+	if n := int(r.u16()); n > 0 {
+		m.Links = make([][2]ad.ID, 0, n)
+		for i := 0; i < n; i++ {
+			a := ad.ID(r.u32())
+			b := ad.ID(r.u32())
+			m.Links = append(m.Links, [2]ad.ID{a, b})
+		}
+	}
+	if n := int(r.u16()); n > 0 {
+		m.Terms = make([]policy.Key, 0, n)
+		for i := 0; i < n; i++ {
+			adv := ad.ID(r.u32())
+			m.Terms = append(m.Terms, policy.Key{Advertiser: adv, Serial: r.u32()})
+		}
+	}
+	m.CtlOp = r.u8()
+	m.A = ad.ID(r.u32())
+	m.B = ad.ID(r.u32())
+	m.Cost = r.u32()
+}
+
+// SyncSnapshot brackets a full state transfer on a sync link. The opener
+// (Done false) announces Count entries follow — the control history the
+// follower is missing, then every current cache entry — and Seq is the
+// backlog position the cut was taken at; the closer (Done true) tells the
+// follower to advance its cursor to Seq and resume incremental entries.
+type SyncSnapshot struct {
+	Seq   uint64
+	Count uint32
+	Done  bool
+}
+
+// Type implements Message.
+func (*SyncSnapshot) Type() MsgType { return TypeSyncSnapshot }
+
+func (m *SyncSnapshot) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendU32(dst, m.Count)
+	done := uint8(0)
+	if m.Done {
+		done = 1
+	}
+	return append(dst, done)
+}
+
+func (m *SyncSnapshot) decodeBody(r *reader) {
+	m.Seq = r.u64()
+	m.Count = r.u32()
+	m.Done = r.u8() == 1
+}
+
+// Promote announces a self-promotion on heartbeat links: ReplicaID now
+// leads Epoch. Receivers adopt a strictly higher epoch immediately
+// instead of waiting a heartbeat interval.
+type Promote struct {
+	ReplicaID uint32
+	Epoch     uint64
+}
+
+// Type implements Message.
+func (*Promote) Type() MsgType { return TypePromote }
+
+func (m *Promote) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.ReplicaID)
+	return appendU64(dst, m.Epoch)
+}
+
+func (m *Promote) decodeBody(r *reader) {
+	m.ReplicaID = r.u32()
+	m.Epoch = r.u64()
+}
+
+// NotPrimary tells the peer it is talking to a follower. On a serving
+// session it answers a Query/Control/DataOp (echoing the request ID) and
+// names the current primary's client address so the client can redirect;
+// on a sync link it refuses the stream (the dialer should re-resolve the
+// primary). Addr is empty when the sender does not know a live primary.
+type NotPrimary struct {
+	ID        uint64
+	PrimaryID uint32
+	Addr      string
+}
+
+// Type implements Message.
+func (*NotPrimary) Type() MsgType { return TypeNotPrimary }
+
+func (m *NotPrimary) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.ID)
+	dst = appendU32(dst, m.PrimaryID)
+	return appendString(dst, m.Addr)
+}
+
+func (m *NotPrimary) decodeBody(r *reader) {
+	m.ID = r.u64()
+	m.PrimaryID = r.u32()
+	m.Addr = readString(r)
+}

@@ -72,6 +72,20 @@ const (
 	TypeStatsReply
 	// TypeDrain asks the daemon to drain gracefully.
 	TypeDrain
+	// TypeHello opens an HA replication connection (heartbeat or sync).
+	TypeHello
+	// TypeHeartbeat is the periodic liveness beacon between replicas.
+	TypeHeartbeat
+	// TypeSyncEntry replicates one backlog record (cache put or control
+	// mutation) from primary to follower.
+	TypeSyncEntry
+	// TypeSyncSnapshot brackets a full warm-state transfer on a sync link.
+	TypeSyncSnapshot
+	// TypePromote announces a replica's self-promotion to primary.
+	TypePromote
+	// TypeNotPrimary redirects a client (or refuses a sync stream) toward
+	// the current primary.
+	TypeNotPrimary
 )
 
 // String implements fmt.Stringer.
@@ -113,6 +127,18 @@ func (t MsgType) String() string {
 		return "stats-reply"
 	case TypeDrain:
 		return "drain"
+	case TypeHello:
+		return "hello"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeSyncEntry:
+		return "sync-entry"
+	case TypeSyncSnapshot:
+		return "sync-snapshot"
+	case TypePromote:
+		return "promote"
+	case TypeNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -212,6 +238,18 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &StatsReply{}
 	case TypeDrain:
 		m = &Drain{}
+	case TypeHello:
+		m = &Hello{}
+	case TypeHeartbeat:
+		m = &Heartbeat{}
+	case TypeSyncEntry:
+		m = &SyncEntry{}
+	case TypeSyncSnapshot:
+		m = &SyncSnapshot{}
+	case TypePromote:
+		m = &Promote{}
+	case TypeNotPrimary:
+		m = &NotPrimary{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
 	}
