@@ -24,12 +24,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The HA package runs twice under the detector: its tests exercise real
-# sockets, elections, and concurrent sync streams, where interleavings
-# differ run to run.
+# The HA and pgstate packages run twice under the detector: HA exercises
+# real sockets, elections, and concurrent sync streams; pgstate's shard
+# stress drives one table from many goroutines. Both see different
+# interleavings run to run.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/routeserver/ha/
+	$(GO) test -race -count=2 -run 'TestConcurrent' ./internal/pgstate/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -37,8 +39,9 @@ bench:
 # bench-smoke runs every benchmark exactly once — CI uses it to catch
 # benchmarks that no longer compile or that crash, without paying for
 # real measurement. BenchmarkE20RouteServer, BenchmarkE22ScopedInvalidation,
-# BenchmarkDaemonChurn, and BenchmarkHAFailover also emit BENCH_*.json
-# reports (untracked) as a machine-readable side effect.
+# BenchmarkDaemonChurn, BenchmarkHAFailover, and BenchmarkPGStateMillion
+# also emit BENCH_*.json reports (untracked) as a machine-readable side
+# effect.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 

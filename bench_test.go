@@ -595,6 +595,140 @@ func BenchmarkHAFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkPGStateMillion holds 1M+ soft-state handles in one sharded
+// table and measures the three costs the rewrite targets: install
+// throughput (arena + wheel + link index, no steady-state allocation),
+// expiry throughput with the timer wheel (cost ∝ due handles — the
+// no-due sweep at full population visits a bounded slot walk, not a
+// million entries), and resident bytes per handle. It emits
+// BENCH_pgstate.json (consumed by the bench-smoke CI step). Wall-clock
+// rates are hardware-dependent; the visit counts and the residency
+// assertions are exact.
+func BenchmarkPGStateMillion(b *testing.B) {
+	const (
+		handles = 1 << 20 // 1,048,576
+		cohorts = 100     // staggered TTLs: each sweep expires ~1% of the table
+		shards  = 64
+		lookups = 200_000
+	)
+	// A small route pool over 64 ADs: entries share routes (as real flows
+	// share paths) while the link index still fans out.
+	routes := make([]ad.Path, 256)
+	for i := range routes {
+		routes[i] = ad.Path{adID(i % 32), adID(32 + i%8)}
+	}
+	req := policy.Request{Src: 1, Dst: 33}
+
+	var report pgstateBenchReport
+	for iter := 0; iter < b.N; iter++ {
+		tab := pgstate.NewTable(pgstate.Config{Kind: pgstate.Soft, Shards: shards})
+
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		start := time.Now()
+		for h := uint64(1); h <= handles; h++ {
+			ttl := sim.Time(1+h%cohorts) * sim.Second
+			tab.Install(0, h, routes[h%uint64(len(routes))], 0, req, ttl)
+		}
+		installSecs := time.Since(start).Seconds()
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+
+		if tab.Len() != handles {
+			b.Fatalf("table holds %d of %d handles", tab.Len(), handles)
+		}
+
+		// Lookup throughput at full population.
+		start = time.Now()
+		hits := 0
+		for i := 0; i < lookups; i++ {
+			if _, ok := tab.Lookup(1, uint64(i)%handles+1); ok {
+				hits++
+			}
+		}
+		lookupSecs := time.Since(start).Seconds()
+		if hits != lookups {
+			b.Fatalf("lookup hit %d of %d at full population", hits, lookups)
+		}
+
+		// A sweep with nothing due at full population: the wheel walks its
+		// bounded slot range (plus cascade traffic), never the million
+		// entries the reference would scan.
+		preCost := tab.SweepCost()
+		start = time.Now()
+		if due := tab.ExpireDue(1); len(due) != 0 {
+			b.Fatalf("no-due sweep expired %d handles", len(due))
+		}
+		noDueSecs := time.Since(start).Seconds()
+		noDueCost := tab.SweepCost()
+
+		// Cohort sweeps: each advances one second and expires ~1% of the
+		// original table.
+		expired := 0
+		start = time.Now()
+		for c := 1; c <= cohorts; c++ {
+			expired += len(tab.ExpireDue(sim.Time(c)*sim.Second + 1))
+		}
+		sweepSecs := time.Since(start).Seconds()
+		dueCost := tab.SweepCost()
+		if expired != handles || tab.Len() != 0 {
+			b.Fatalf("sweeps expired %d of %d, %d left", expired, handles, tab.Len())
+		}
+
+		report = pgstateBenchReport{
+			GOMAXPROCS:        runtime.GOMAXPROCS(0),
+			Handles:           handles,
+			Shards:            shards,
+			InstallsPerSec:    float64(handles) / installSecs,
+			LookupsPerSec:     float64(lookups) / lookupSecs,
+			ResidentBytes:     int64(after.HeapAlloc) - int64(before.HeapAlloc),
+			BytesPerHandle:    (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / handles,
+			Sweeps:            cohorts,
+			Expired:           expired,
+			ExpiredPerSec:     float64(expired) / sweepSecs,
+			SweepEntryVisits:  dueCost.Entries - noDueCost.Entries,
+			NoDueEntryVisits:  noDueCost.Entries - preCost.Entries,
+			NoDueSlotWalks:    noDueCost.Slots - preCost.Slots,
+			NoDueSweepMS:      noDueSecs * 1e3,
+			DueSweepAvgVisits: float64(dueCost.Entries-noDueCost.Entries) / cohorts,
+		}
+		sink += expired
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_pgstate.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_pgstate.json: %v", err)
+	}
+}
+
+// adID maps a small int to an ad.ID for benchmark route construction.
+func adID(i int) ad.ID { return ad.ID(i + 1) }
+
+type pgstateBenchReport struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Handles           int     `json:"handles"`
+	Shards            int     `json:"shards"`
+	InstallsPerSec    float64 `json:"installs_per_sec"`
+	LookupsPerSec     float64 `json:"lookups_per_sec"`
+	ResidentBytes     int64   `json:"resident_bytes"`
+	BytesPerHandle    float64 `json:"bytes_per_handle"`
+	Sweeps            int     `json:"sweeps"`
+	Expired           int     `json:"expired"`
+	ExpiredPerSec     float64 `json:"expired_per_sec"`
+	SweepEntryVisits  uint64  `json:"sweep_entry_visits"`
+	DueSweepAvgVisits float64 `json:"due_sweep_avg_visits"`
+	NoDueEntryVisits  uint64  `json:"no_due_entry_visits"`
+	NoDueSlotWalks    uint64  `json:"no_due_slot_walks"`
+	NoDueSweepMS      float64 `json:"no_due_sweep_ms"`
+}
+
 type haBenchReport struct {
 	GOMAXPROCS        int     `json:"gomaxprocs"`
 	Clients           int     `json:"clients"`

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e23] \
+//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e24] \
 //	            [-cpuprofile file] [-memprofile file]
 package main
 
@@ -27,7 +27,7 @@ func main() {
 
 func run() int {
 	seed := flag.Int64("seed", 42, "experiment seed (all results are deterministic in it)")
-	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e23")
+	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e24")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent experiment workers (1 = serial; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -67,12 +67,13 @@ func run() int {
 		"e21":     experiments.E21StateLifecycles,
 		"e22":     experiments.E22ScopedInvalidation,
 		"e23":     experiments.E23HAFailover,
+		"e24":     experiments.E24PGStateScale,
 	}
 
 	if *only != "" {
 		runner, ok := runners[strings.ToLower(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e23\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e24\n", *only)
 			return 2
 		}
 		if err := runner(*seed).Render(os.Stdout); err != nil {

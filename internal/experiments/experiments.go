@@ -81,6 +81,7 @@ var independent = []func(int64) *metrics.Table{
 	E21StateLifecycles,
 	E22ScopedInvalidation,
 	E23HAFailover,
+	E24PGStateScale,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

@@ -1,0 +1,109 @@
+package pgstate
+
+// Interplay between the link index and the arena's slot reuse: the
+// documented Handles/HandlesCrossing semantics (expired-but-unswept
+// entries stay visible until something drops them) must survive the
+// sharded rewrite, and a reused arena slot must never resurrect the
+// previous tenant's link-index edges.
+
+import (
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/sim"
+)
+
+// TestExpiredUnsweptStaysVisible: an entry past its deadline that no op
+// has yet dropped is still listed by Handles and HandlesCrossing — the
+// documented contract ("call ExpireDue first for a live-only view") —
+// and disappears from both the moment any path drops it.
+func TestExpiredUnsweptStaysVisible(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		tab := NewTable(Config{Kind: Soft, TTL: 1 * sim.Second, Shards: shards})
+		tab.Install(0, 7, ad.Path{1, 2, 3}, 1, testReq, 0)
+		past := 10 * sim.Second // well past the deadline, nothing swept yet
+		if got := tab.Handles(); !handlesEqual(got, []uint64{7}) {
+			t.Fatalf("shards=%d: expired-unswept entry missing from Handles: %v", shards, got)
+		}
+		if got := tab.HandlesCrossing(2, 3); !handlesEqual(got, []uint64{7}) {
+			t.Fatalf("shards=%d: expired-unswept entry missing from HandlesCrossing: %v", shards, got)
+		}
+		// A lookup at the late clock drops it; both views go empty together.
+		if _, ok := tab.Lookup(past, 7); ok {
+			t.Fatalf("shards=%d: expired entry returned live", shards)
+		}
+		if got := tab.Handles(); len(got) != 0 {
+			t.Fatalf("shards=%d: dropped entry still in Handles: %v", shards, got)
+		}
+		if got := tab.HandlesCrossing(2, 3); len(got) != 0 {
+			t.Fatalf("shards=%d: dropped entry still in HandlesCrossing: %v", shards, got)
+		}
+	}
+}
+
+// TestSlabReuseNoStaleEdges: Remove then Install reuses the released arena
+// slot (single shard forces it); the new tenant must carry only its own
+// route's edges — none of the old tenant's.
+func TestSlabReuseNoStaleEdges(t *testing.T) {
+	tab := NewTable(Config{Kind: Hard, Shards: 1})
+	tab.Install(0, 1, ad.Path{1, 2, 3}, 1, testReq, 0)
+	tab.Remove(1)
+	// The freed slot is the only one on the free list; this install reuses it.
+	tab.Install(0, 2, ad.Path{5, 6}, 0, testReq, 0)
+	if got := tab.HandlesCrossing(1, 2); len(got) != 0 {
+		t.Fatalf("old tenant's edge 1-2 resurrected: %v", got)
+	}
+	if got := tab.HandlesCrossing(2, 3); len(got) != 0 {
+		t.Fatalf("old tenant's edge 2-3 resurrected: %v", got)
+	}
+	if got := tab.HandlesCrossing(5, 6); !handlesEqual(got, []uint64{2}) {
+		t.Fatalf("new tenant's edge missing: %v", got)
+	}
+}
+
+// TestOverwriteReplacesEdges: re-installing a handle with a different
+// route swaps its link-index edges atomically — the old route's edges go,
+// the new route's arrive, other handles are untouched.
+func TestOverwriteReplacesEdges(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, Shards: 4})
+	tab.Install(0, 1, ad.Path{1, 2, 3}, 1, testReq, 0)
+	tab.Install(0, 9, ad.Path{2, 3}, 0, testReq, 0) // shares the 2-3 edge
+	tab.Install(1, 1, ad.Path{1, 4, 3}, 1, testReq, 0)
+	if got := tab.HandlesCrossing(1, 2); len(got) != 0 {
+		t.Fatalf("overwritten route's 1-2 edge lingers: %v", got)
+	}
+	if got := tab.HandlesCrossing(2, 3); !handlesEqual(got, []uint64{9}) {
+		t.Fatalf("2-3 edge wrong after overwrite: %v, want [9]", got)
+	}
+	if got := tab.HandlesCrossing(1, 4); !handlesEqual(got, []uint64{1}) {
+		t.Fatalf("new route's 1-4 edge missing: %v", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("overwrite changed residency: %d", tab.Len())
+	}
+}
+
+// TestArenaSteadyStateNoGrowth: a sustained install/remove churn loop must
+// recycle free-listed slots instead of growing new slabs.
+func TestArenaSteadyStateNoGrowth(t *testing.T) {
+	tab := NewTable(Config{Kind: Soft, Shards: 1})
+	for h := uint64(1); h <= slabSize; h++ {
+		tab.Install(0, h, testRoute, 1, testReq, 0)
+	}
+	sh := tab.shards[0]
+	slabs := len(sh.arena.slabs)
+	for round := 0; round < 50; round++ {
+		for h := uint64(1); h <= slabSize; h += 2 {
+			tab.Remove(h)
+		}
+		for h := uint64(1); h <= slabSize; h += 2 {
+			tab.Install(sim.Time(round), h, testRoute, 1, testReq, 0)
+		}
+	}
+	if got := len(sh.arena.slabs); got != slabs {
+		t.Fatalf("steady-state churn grew the arena: %d -> %d slabs", slabs, got)
+	}
+	if tab.Len() != slabSize {
+		t.Fatalf("churn lost entries: %d", tab.Len())
+	}
+}

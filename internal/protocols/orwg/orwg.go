@@ -15,7 +15,10 @@
 // Per-PG handle state is managed by internal/pgstate under a configurable
 // lifecycle discipline (§6): hard state released only by teardown, soft
 // state kept alive by source-driven Refresh messages, or a capped LRU
-// table. A PG that no longer holds state for an arriving data or refresh
+// table. Each simulated PG runs its table with a single shard (nodes are
+// single-threaded; Config.Normalize pins State.Shards to 1 unless
+// overridden) while still getting the timer-wheel expiry, so ExpireDue
+// sweeps cost due-handles work, not table-size work. A PG that no longer holds state for an arriving data or refresh
 // packet NAKs with SetupNoState; the NAK walks back to the source, which
 // queues the flow for re-establishment (RepairAll). Link failures trigger
 // the same repair path eagerly: the failed link's endpoints flush crossing
@@ -78,6 +81,13 @@ func (c Config) Normalize() Config {
 	}
 	if c.State.Kind == "" && c.CacheCapacity > 0 {
 		c.State = pgstate.Config{Kind: pgstate.Capped, Capacity: c.CacheCapacity}
+	}
+	if c.State.Shards == 0 {
+		// Simulator nodes are single-threaded and number in the hundreds:
+		// one shard per PG table unless the caller asks for more (the
+		// sharded serving-layer default would multiply per-node footprint
+		// for concurrency no simulated PG needs).
+		c.State.Shards = 1
 	}
 	st, err := c.State.Normalize()
 	if err != nil {

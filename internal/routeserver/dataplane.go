@@ -26,6 +26,12 @@ import (
 // discrete-event engine, so soft-state TTLs are measured in ticks of
 // simulated time, while re-setup latency (a Server query plus re-install)
 // is measured in wall time.
+//
+// The tables themselves are internally sharded and safe for concurrent
+// use (Lookup and Peek return entries by value, so no caller ever holds a
+// pointer into a table); d.mu remains, but only to keep the flow and
+// repair maps coherent with the per-hop state transitions around them,
+// not to serialize table access.
 type DataPlane struct {
 	mu     sync.Mutex
 	cfg    pgstate.Config
