@@ -9,6 +9,7 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"os"
 	"runtime"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/routeserver"
 	"repro/internal/routeserver/daemon"
 	"repro/internal/routeserver/ha"
+	"repro/internal/routeserver/plan"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/topology"
@@ -1032,4 +1034,155 @@ func BenchmarkLargeSynthesis(b *testing.B) {
 		res := synthesis.FindRoute(topo.Graph, db, reqs[i%len(reqs)])
 		sink += res.Expanded
 	}
+}
+
+// planBenchReport captures the what-if engine's scaling claim: plan cost is
+// proportional to the blast radius (the entries the change's footprint
+// index fans out to, each shadow-re-synthesized twice), not to the cache
+// size the plan snapshots against.
+type planBenchReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Cases      []planBenchCase `json:"cases"`
+	// CacheScaling is the mean latency ratio of the 32k-entry cache over
+	// the 8k one at equal radius (~1.0: cache size is not the cost driver).
+	// RadiusScaling is the mean ratio of radius 1024 over radius 64 at
+	// equal cache size (>> 1: the radius is).
+	CacheScaling  float64 `json:"cache_scaling"`
+	RadiusScaling float64 `json:"radius_scaling"`
+}
+
+type planBenchCase struct {
+	CacheSize int     `json:"cache_size"`
+	Radius    int     `json:"radius"`
+	NSPerOp   float64 `json:"ns_per_op"`
+}
+
+// BenchmarkPlan measures plan.Compute against a warm cache whose size and
+// affected population are controlled independently: every installed entry
+// carries a real footprint, but only `radius` of them cross the hub link
+// the plan proposes to fail. Each iteration runs the full engine — snapshot
+// under the strategy lock, victim resolution through the reverse indexes,
+// and the two-clone shadow re-synthesis of the affected population. It
+// emits BENCH_plan.json with the two scaling ratios.
+func BenchmarkPlan(b *testing.B) {
+	report := planBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	ns := map[[2]int]float64{}
+
+	for _, cacheSize := range []int{8192, 32768} {
+		for _, radius := range []int{64, 1024} {
+			cacheSize, radius := cacheSize, radius
+			b.Run(fmt.Sprintf("cache=%d/radius=%d", cacheSize, radius), func(b *testing.B) {
+				g, db, srv := planBenchWorld(b, cacheSize, radius)
+				hubA, hubB := ad.ID(1), ad.ID(2)
+				steps := []plan.Step{{Kind: plan.StepFail, A: hubA, B: hubB}}
+				removed := map[[2]ad.ID]ad.Link{}
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					rep, err := plan.Compute(srv, nil, g, db, removed, steps, plan.Config{Budget: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rep.EvictedKeys) != radius {
+						b.Fatalf("blast radius %d, want %d", len(rep.EvictedKeys), radius)
+					}
+					sink += rep.Retained
+				}
+				// Benchmark calibration re-runs this body with growing
+				// b.N; keep the final (longest) measurement.
+				ns[[2]int{cacheSize, radius}] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			})
+		}
+	}
+
+	for _, cacheSize := range []int{8192, 32768} {
+		for _, radius := range []int{64, 1024} {
+			report.Cases = append(report.Cases, planBenchCase{
+				CacheSize: cacheSize, Radius: radius, NSPerOp: ns[[2]int{cacheSize, radius}],
+			})
+		}
+	}
+	if a, c := ns[[2]int{8192, 64}], ns[[2]int{32768, 64}]; a > 0 && c > 0 {
+		b1, d := ns[[2]int{8192, 1024}], ns[[2]int{32768, 1024}]
+		report.CacheScaling = (c/a + d/b1) / 2
+		report.RadiusScaling = (b1/a + d/c) / 2
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_plan.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_plan.json: %v", err)
+	}
+}
+
+// planBenchWorld builds the controlled serving state: two transit hubs
+// (IDs 1 and 2) joined by the link the plan fails, stub fans on each whose
+// routes cross it (the affected population), and a third hub (ID 3) whose
+// local pairs pad the cache to `total` entries without touching the hub
+// link. Entries are installed directly with their real footprints, so the
+// reverse indexes see exactly what live synthesis would record.
+func planBenchWorld(b *testing.B, total, affected int) (*ad.Graph, *policy.DB, *routeserver.Server) {
+	b.Helper()
+	g := ad.NewGraph()
+	hubA := g.AddAD("hubA", ad.Transit, ad.Backbone)
+	hubB := g.AddAD("hubB", ad.Transit, ad.Backbone)
+	hubC := g.AddAD("hubC", ad.Transit, ad.Backbone)
+	mustLink := func(a, bid ad.ID) {
+		if err := g.AddLink(ad.Link{A: a, B: bid, Cost: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustLink(hubA, hubB)
+	const fan = 8
+	var left, right, filler []ad.ID
+	for i := 0; i < fan; i++ {
+		l := g.AddAD(fmt.Sprintf("l%d", i), ad.Stub, ad.Campus)
+		r := g.AddAD(fmt.Sprintf("r%d", i), ad.Stub, ad.Campus)
+		mustLink(l, hubA)
+		mustLink(r, hubB)
+		left, right = append(left, l), append(right, r)
+	}
+	for i := 0; i < 24; i++ {
+		f := g.AddAD(fmt.Sprintf("f%d", i), ad.Stub, ad.Campus)
+		mustLink(f, hubC)
+		filler = append(filler, f)
+	}
+	db := policy.OpenDB(g)
+	srv := routeserver.New(synthesis.NewOnDemand(g, db), routeserver.Config{})
+
+	install := func(req policy.Request, path ad.Path) {
+		srv.InstallEntry(routeserver.KeyOf(req),
+			routeserver.Result{Path: path, Found: true},
+			synthesis.FootprintOf(g, db, req, path))
+	}
+	// Affected entries: distinct (src, dst, hour) keys routed across the
+	// hub link.
+	for i := 0; i < affected; i++ {
+		src, dst := left[i%fan], right[(i/fan)%fan]
+		req := policy.Request{Src: src, Dst: dst, Hour: uint8((i / (fan * fan)) % 24)}
+		install(req, ad.Path{src, hubA, hubB, dst})
+	}
+	// Filler entries: hubC-local pairs whose footprints never mention the
+	// hub link, padding the cache to the target size.
+	n := 0
+	for h := 0; n < total-affected && h < 24; h++ {
+		for qos := 0; n < total-affected && qos < 4; qos++ {
+			for i := 0; n < total-affected && i < len(filler); i++ {
+				for j := 0; n < total-affected && j < len(filler); j++ {
+					if i == j {
+						continue
+					}
+					src, dst := filler[i], filler[j]
+					req := policy.Request{Src: src, Dst: dst, QOS: policy.QOS(qos), Hour: uint8(h)}
+					install(req, ad.Path{src, hubC, dst})
+					n++
+				}
+			}
+		}
+	}
+	if got := srv.CacheLen(); got != total {
+		b.Fatalf("cache holds %d entries, want %d", got, total)
+	}
+	return g, db, srv
 }

@@ -1,11 +1,11 @@
 // Command experiments regenerates every table and figure of the
 // reproduction: the Table 1 design-space comparison, the Figure 1 topology
-// validation, and experiments E1–E22 (see DESIGN.md for the index and
+// validation, and experiments E1–E25 (see DESIGN.md for the index and
 // EXPERIMENTS.md for recorded results).
 //
 // Usage:
 //
-//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e24] \
+//	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e25] \
 //	            [-cpuprofile file] [-memprofile file]
 package main
 
@@ -27,7 +27,7 @@ func main() {
 
 func run() int {
 	seed := flag.Int64("seed", 42, "experiment seed (all results are deterministic in it)")
-	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e24")
+	only := flag.String("only", "", "run a single experiment: table1, figure1, e1..e25")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent experiment workers (1 = serial; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -68,12 +68,13 @@ func run() int {
 		"e22":     experiments.E22ScopedInvalidation,
 		"e23":     experiments.E23HAFailover,
 		"e24":     experiments.E24PGStateScale,
+		"e25":     experiments.E25PlanEngine,
 	}
 
 	if *only != "" {
 		runner, ok := runners[strings.ToLower(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e24\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of table1, figure1, e1..e25\n", *only)
 			return 2
 		}
 		if err := runner(*seed).Render(os.Stdout); err != nil {

@@ -112,6 +112,44 @@ func TestSessionParityLineVsProtocol(t *testing.T) {
 	step("invalidate", control(wire.CtlInvalidate, 0, 0, 0))
 	step("1 4", query(1, 4))
 	step("99 98", query(99, 98))
+
+	// Plan/commit must render identically too: the what-if report, the
+	// committed summary, the staleness refusal, and the unknown-plan error
+	// all flow through the same HandlePlan/RenderPlanReply pair.
+	planWire := func(steps ...wire.PlanStep) func() string {
+		return func() string {
+			rep, err := cl.Plan(steps)
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			return strings.Join(daemon.RenderPlanReply(rep), "\n") + "\n"
+		}
+	}
+	commitWire := func(id uint64) func() string {
+		return func() string {
+			rep, err := cl.Commit(id)
+			if err != nil {
+				t.Fatalf("commit %d: %v", id, err)
+			}
+			return strings.Join(daemon.RenderPlanReply(rep), "\n") + "\n"
+		}
+	}
+	step("plan fail 2 4; policy 2 50", planWire(
+		wire.PlanStep{Op: wire.CtlFail, A: 2, B: 4},
+		wire.PlanStep{Op: wire.CtlPolicy, A: 2, Cost: 50},
+	))
+	step("commit 1", commitWire(1))
+	step("1 4", query(1, 4))
+	step("restore 2 4", control(wire.CtlRestore, 2, 4, 0))
+	step("plan fail 2 4", planWire(wire.PlanStep{Op: wire.CtlFail, A: 2, B: 4}))
+	step("policy 2 1", control(wire.CtlPolicy, 2, 0, 1))
+	step("commit 2", commitWire(2)) // stale: the policy change moved the epoch
+	step("commit 99", commitWire(99))
+	step("plan", func() string {
+		_, err := parsePlanSteps("")
+		return err.Error() + "\n"
+	})
+
 	step("stats", func() string {
 		st, err := cl.Stats()
 		if err != nil {

@@ -15,7 +15,11 @@
 //     "invalidate" forces the full generation bump that restores
 //     optimality. Served routes are installed as per-PG handle state whose
 //     lifecycle (-state hard|soft|capped, -state-ttl, -state-cap)
-//     follows §6.
+//     follows §6. "plan STEP[; STEP ...]" (steps "fail A B", "restore A
+//     B", "policy AD COST") predicts a change batch's blast radius —
+//     cache evictions, flow teardowns, pairs losing all routes — without
+//     mutating anything, and "commit ID" applies a predicted plan unless
+//     the server's mutation epoch moved since (staleness guard).
 //
 //   - Daemon mode (-listen addr and/or -unix path): serves the same
 //     commands as a network daemon speaking the framed binary protocol of
@@ -125,6 +129,22 @@ func run() int {
 	)
 	flag.Parse()
 
+	if err := validateFlags(flagCoherence{
+		Load:           *load,
+		Connect:        *connectAddr,
+		ReconnectEvery: *reconnectEvery,
+		Churn:          *churn,
+		Listen:         *listenAddr,
+		Unix:           *unixPath,
+		ReplicaID:      *replicaID,
+		Peers:          *peersFlag,
+		ReplicaOf:      *replicaOf,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "routed: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+
 	g, db, workload, events, err := materialize(*scenarioPath, *seed, *requests, *model, *zipfS, *qosClasses, *uciClasses)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,6 +155,10 @@ func run() int {
 		Shards:   *shards,
 		Capacity: *cacheCap,
 		Workers:  *workers,
+		// The query-log ring feeds "plan" its recorded-workload mode: a plan
+		// replays the last queries against the shadow world to find pairs
+		// that would lose all routes.
+		QueryLog: 1024,
 	})
 
 	dp, err := routeserver.NewDataPlane(pgstate.Config{
@@ -219,6 +243,52 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// flagCoherence carries the mode-selecting flags into validateFlags, which
+// is pure so tests can table-drive it.
+type flagCoherence struct {
+	Load           bool
+	Connect        string
+	ReconnectEvery int
+	Churn          bool
+	Listen         string
+	Unix           string
+	ReplicaID      uint
+	Peers          string
+	ReplicaOf      uint
+}
+
+// validateFlags rejects incoherent flag combinations up front with a usage
+// error instead of letting a half-selected mode silently misbehave (e.g.
+// -connect without -load would drop into line mode and never dial out).
+func validateFlags(f flagCoherence) error {
+	daemonMode := f.Listen != "" || f.Unix != ""
+	if f.Connect != "" && !f.Load {
+		return fmt.Errorf("-connect drives a running daemon from the load harness; add -load")
+	}
+	if f.ReconnectEvery != 0 && f.Connect == "" {
+		return fmt.Errorf("-reconnect-every only applies to network load mode; add -connect")
+	}
+	if f.Churn && !f.Load {
+		return fmt.Errorf("-churn injects events into a load run; add -load")
+	}
+	if f.Load && daemonMode {
+		return fmt.Errorf("-load and -listen/-unix are exclusive: one process is either the load generator or the daemon")
+	}
+	if f.ReplicaID != 0 && !daemonMode {
+		return fmt.Errorf("-replica-id joins an HA group in daemon mode; add -listen or -unix")
+	}
+	if f.ReplicaID != 0 && f.Peers == "" {
+		return fmt.Errorf("-replica-id requires -peers (ID@haAddr@clientAddr,...)")
+	}
+	if f.Peers != "" && f.ReplicaID == 0 {
+		return fmt.Errorf("-peers requires -replica-id to say which entry is this replica")
+	}
+	if f.ReplicaOf != 0 && f.ReplicaID == 0 {
+		return fmt.Errorf("-replica-of names the initial primary of an HA group; add -replica-id and -peers")
+	}
+	return nil
 }
 
 // runDaemon serves the binary protocol on the requested listeners until a
@@ -725,6 +795,32 @@ func serveLine(line string, out io.Writer, be *daemon.Backend) bool {
 		fmt.Fprintf(out, "repaired %d/%d flows\n", repaired, attempted)
 	case "state":
 		fmt.Fprintln(out, be.State())
+	case "plan":
+		// plan STEP[; STEP ...]: predict the batch's blast radius without
+		// applying it. Same execution path as the wire Plan message.
+		steps, err := parsePlanSteps(strings.TrimSpace(strings.TrimPrefix(line, "plan")))
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return true
+		}
+		for _, l := range daemon.RenderPlanReply(be.HandlePlan(&wire.Plan{Steps: steps})) {
+			fmt.Fprintln(out, l)
+		}
+	case "commit":
+		// commit ID: apply a previously planned batch; refused if the
+		// mutation epoch moved since the plan.
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: commit PLAN_ID")
+			return true
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(out, "bad plan id %q\n", fields[1])
+			return true
+		}
+		for _, l := range daemon.RenderPlanReply(be.HandlePlan(&wire.Plan{Commit: true, PlanID: id})) {
+			fmt.Fprintln(out, l)
+		}
 	default:
 		req, err := parseQuery(fields)
 		if err != nil {
@@ -741,11 +837,51 @@ func serveLine(line string, out io.Writer, be *daemon.Backend) bool {
 	return true
 }
 
+// parsePlanSteps parses the "plan" argument: semicolon-separated steps,
+// each "fail A B", "restore A B", or "policy AD COST".
+func parsePlanSteps(spec string) ([]wire.PlanStep, error) {
+	usage := fmt.Errorf("usage: plan STEP[; STEP ...] with STEP one of \"fail A B\", \"restore A B\", \"policy AD COST\"")
+	if spec == "" {
+		return nil, usage
+	}
+	var steps []wire.PlanStep
+	for _, part := range strings.Split(spec, ";") {
+		f := strings.Fields(part)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "fail", "restore":
+			a, b, ok := twoIDs(f[1:])
+			if !ok {
+				return nil, usage
+			}
+			op := uint8(wire.CtlFail)
+			if f[0] == "restore" {
+				op = wire.CtlRestore
+			}
+			steps = append(steps, wire.PlanStep{Op: op, A: a, B: b})
+		case "policy":
+			a, c, ok := twoIDs(f[1:])
+			if !ok {
+				return nil, usage
+			}
+			steps = append(steps, wire.PlanStep{Op: wire.CtlPolicy, A: a, Cost: uint32(c)})
+		default:
+			return nil, fmt.Errorf("unknown plan step %q: %v", f[0], usage)
+		}
+	}
+	if len(steps) == 0 {
+		return nil, usage
+	}
+	return steps, nil
+}
+
 // parseQuery parses "SRC DST [QOS UCI HOUR]".
 func parseQuery(fields []string) (policy.Request, error) {
 	var req policy.Request
 	if len(fields) < 2 || len(fields) > 5 {
-		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, invalidate, stats, install, send, refresh, tick, repair, state, quit")
+		return req, fmt.Errorf("query is SRC DST [QOS UCI HOUR]; commands are fail, restore, policy, invalidate, plan, commit, stats, install, send, refresh, tick, repair, state, quit")
 	}
 	vals := make([]uint64, len(fields))
 	for i, f := range fields {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/routeserver/daemon"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
+	"repro/internal/wire"
 )
 
 func testWorld(t *testing.T) (*ad.Graph, *policy.DB, *routeserver.Server, *routeserver.DataPlane) {
@@ -212,6 +213,61 @@ func TestTwoIDs(t *testing.T) {
 	for _, bad := range [][]string{{}, {"1"}, {"1", "2", "3"}, {"x", "2"}} {
 		if _, _, ok := twoIDs(bad); ok {
 			t.Errorf("twoIDs(%v) accepted", bad)
+		}
+	}
+}
+
+func TestParsePlanSteps(t *testing.T) {
+	steps, err := parsePlanSteps("fail 2 4; policy 7 10 ;restore 2 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []wire.PlanStep{
+		{Op: wire.CtlFail, A: 2, B: 4},
+		{Op: wire.CtlPolicy, A: 7, Cost: 10},
+		{Op: wire.CtlRestore, A: 2, B: 4},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("parsed %d steps, want %d", len(steps), len(want))
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("step %d: %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", ";", "fail 2", "policy x 1", "drop 2 4", "fail 2 4; bogus"} {
+		if _, err := parsePlanSteps(bad); err == nil {
+			t.Errorf("parsePlanSteps(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	ok := []flagCoherence{
+		{},                        // plain line mode
+		{Load: true, Churn: true}, // local load run
+		{Load: true, Connect: "h:1", ReconnectEvery: 5}, // network load
+		{Listen: ":0"}, // standalone daemon
+		{Listen: ":0", ReplicaID: 1, Peers: "1@a@b", ReplicaOf: 1}, // HA daemon
+	}
+	for _, f := range ok {
+		if err := validateFlags(f); err != nil {
+			t.Errorf("validateFlags(%+v) rejected a coherent set: %v", f, err)
+		}
+	}
+	bad := []flagCoherence{
+		{Connect: "h:1"},                // -connect without -load
+		{Load: true, ReconnectEvery: 5}, // -reconnect-every without -connect
+		{Churn: true},                   // -churn without -load
+		{Load: true, Listen: ":0"},      // load generator and daemon at once
+		{ReplicaID: 1, Peers: "1@a@b"},  // HA flags outside daemon mode
+		{Listen: ":0", ReplicaID: 1},    // -replica-id without -peers
+		{Listen: ":0", Peers: "1@a@b"},  // -peers without -replica-id
+		{Listen: ":0", ReplicaOf: 2},    // -replica-of without -replica-id
+	}
+	for _, f := range bad {
+		if err := validateFlags(f); err == nil {
+			t.Errorf("validateFlags(%+v) accepted an incoherent set", f)
 		}
 	}
 }

@@ -82,6 +82,7 @@ var independent = []func(int64) *metrics.Table{
 	E22ScopedInvalidation,
 	E23HAFailover,
 	E24PGStateScale,
+	E25PlanEngine,
 }
 
 // All runs every experiment serially with the given seed. It is equivalent

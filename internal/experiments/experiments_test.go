@@ -335,8 +335,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("long")
 	}
 	tables := All(seed)
-	if len(tables) != 26 {
-		t.Fatalf("tables = %d, want 26", len(tables))
+	if len(tables) != 27 {
+		t.Fatalf("tables = %d, want 27", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {

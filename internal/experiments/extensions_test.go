@@ -440,3 +440,49 @@ func TestE24PGStateScale(t *testing.T) {
 		}
 	}
 }
+
+func TestE25PlanEngine(t *testing.T) {
+	tbl := E25PlanEngine(seed)
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 workloads x 6 events)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// The headline claim: every prediction matched the committed
+		// outcome set-for-set, oracle-verified. Any "no" means the plan
+		// engine's model of the serving layer diverged from the real thing.
+		if row[9] != "yes" {
+			t.Errorf("%s/%s: plan diverged from committed reality", row[0], row[1])
+		}
+		// Count columns must agree pairwise too (redundant with exact, but
+		// it localizes a failure to the column that moved).
+		for _, c := range [][2]int{{2, 3}, {4, 5}, {6, 7}} {
+			if row[c[0]] != row[c[1]] {
+				t.Errorf("%s/%s: predicted %s, observed %s", row[0], row[1], row[c[0]], row[c[1]])
+			}
+		}
+		// The re-synthesis bill is one synthesis per evicted key.
+		if row[8] != row[2] {
+			t.Errorf("%s/%s: resynth %s != pred-evict %s", row[0], row[1], row[8], row[2])
+		}
+		// Every event in the timeline bites the cache: a plan predicting
+		// zero blast radius for link/policy churn would be vacuous.
+		if row[2] == "0" {
+			t.Errorf("%s/%s: event evicted nothing", row[0], row[1])
+		}
+	}
+	for m := 0; m < 2; m++ {
+		rows := tbl.Rows[m*6 : (m+1)*6]
+		// The third event strands a flow-carrying single-homed stub: it
+		// must predict (and observe) both teardowns and lost pairs.
+		if parseFloat(t, rows[2][4]) == 0 {
+			t.Errorf("%s: stub-uplink failure tore down no flows", rows[2][0])
+		}
+		if parseFloat(t, rows[2][6]) == 0 {
+			t.Errorf("%s: stub-uplink failure lost no pairs", rows[2][0])
+		}
+		// Restoring it brings every stranded pair back.
+		if rows[4][6] != "0" {
+			t.Errorf("%s: restore still loses %s pairs", rows[4][0], rows[4][6])
+		}
+	}
+}

@@ -44,7 +44,7 @@ func (h *Histogram) Mean() time.Duration {
 // Quantile estimates the p-quantile (p in [0,1]) of the observed
 // durations. With no observations it returns 0.
 func (h *Histogram) Quantile(p float64) time.Duration {
-	if p < 0 {
+	if math.IsNaN(p) || p < 0 {
 		p = 0
 	}
 	if p > 1 {

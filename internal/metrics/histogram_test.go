@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -81,6 +82,71 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	wg.Wait()
 	if h.Count() != workers*per {
 		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistogramEmptyQuantileEdges pins the empty-histogram contract the
+// plan engine's latency projection relies on: every quantile — the
+// extremes and out-of-range p included — and the snapshot read as clean
+// zeros, never NaN or a panic.
+func TestHistogramEmptyQuantileEdges(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{-1, 0, 0.5, 0.95, 1, 2, math.NaN()} {
+		if q := h.Quantile(p); q != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+	s := h.Snapshot()
+	if s != (LatencySummary{}) {
+		t.Errorf("empty snapshot = %+v, want zero value", s)
+	}
+}
+
+// TestHistogramSingleBucket pins single-bucket populations: identical
+// observations put every quantile inside one bucket, and the interpolated
+// values must stay within that bucket's 2x bounds with p=0 and p=1 agreeing.
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 7; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	lo, hi := time.Duration(2048), time.Duration(4096) // 3µs falls in [2^11, 2^12)
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < lo || q > hi {
+			t.Errorf("Quantile(%v) = %v outside the only occupied bucket [%v, %v)", p, q, lo, hi)
+		}
+	}
+	if h.Mean() != 3*time.Microsecond {
+		t.Errorf("Mean = %v, want 3µs", h.Mean())
+	}
+
+	// A single observation is the degenerate single-bucket case.
+	var one Histogram
+	one.Observe(time.Millisecond)
+	if q := one.Quantile(0.5); q < 512*time.Microsecond || q > 2*time.Millisecond {
+		t.Errorf("single observation: Quantile(0.5) = %v, want within 2x of 1ms", q)
+	}
+}
+
+// TestHistogramZeroAndNegative pins the bottom bucket: zero and negative
+// durations land in bucket 0 ([0,1ns)) and keep every read finite.
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Mean() != 0 {
+		t.Errorf("Mean = %v, want 0", h.Mean())
+	}
+	// Interpolation may land on the bucket's exclusive upper bound (1ns)
+	// at p=1; anything beyond that would be a different bucket.
+	for _, p := range []float64{0, 0.5, 1} {
+		if q := h.Quantile(p); q < 0 || q > time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v, want within [0, 1ns]", p, q)
+		}
 	}
 }
 

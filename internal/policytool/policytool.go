@@ -52,35 +52,43 @@ type Impact struct {
 // ConnectivityDelta is Gained minus Lost.
 func (im Impact) ConnectivityDelta() int { return len(im.Gained) - len(im.Lost) }
 
+// Add folds one request's before/after synthesis results into the impact.
+// It is the single classification path shared by Assess and the what-if
+// plan engine, so the two tools can never disagree on what "gained",
+// "lost", or "transit" means.
+func (im *Impact) Add(req policy.Request, before, after synthesis.Result) {
+	im.Requests++
+	im.WorkBefore += before.Expanded
+	im.WorkAfter += after.Expanded
+	if before.Found && isTransit(before.Path, im.AD) {
+		im.TransitBefore++
+	}
+	if after.Found && isTransit(after.Path, im.AD) {
+		im.TransitAfter++
+	}
+	switch {
+	case !before.Found && after.Found:
+		im.Gained = append(im.Gained, PairChange{Req: req, After: after.Path})
+	case before.Found && !after.Found:
+		im.Lost = append(im.Lost, PairChange{Req: req, Before: before.Path})
+	case before.Found && after.Found && !before.Path.Equal(after.Path):
+		im.Rerouted = append(im.Rerouted, PairChange{Req: req, Before: before.Path, After: after.Path})
+	}
+}
+
 // Assess evaluates replacing adID's terms with newTerms over the given
 // traffic population. The input database is not modified.
 func Assess(g *ad.Graph, db *policy.DB, adID ad.ID, newTerms []policy.Term, reqs []policy.Request) Impact {
 	after := db.WithTerms(adID, newTerms)
 	im := Impact{
 		AD:          adID,
-		Requests:    len(reqs),
 		TermsBefore: len(db.Terms(adID)),
 		TermsAfter:  len(after.Terms(adID)),
 	}
 	for _, req := range reqs {
 		rb := synthesis.FindRoute(g, db, req)
 		ra := synthesis.FindRoute(g, after, req)
-		im.WorkBefore += rb.Expanded
-		im.WorkAfter += ra.Expanded
-		if rb.Found && isTransit(rb.Path, adID) {
-			im.TransitBefore++
-		}
-		if ra.Found && isTransit(ra.Path, adID) {
-			im.TransitAfter++
-		}
-		switch {
-		case !rb.Found && ra.Found:
-			im.Gained = append(im.Gained, PairChange{Req: req, After: ra.Path})
-		case rb.Found && !ra.Found:
-			im.Lost = append(im.Lost, PairChange{Req: req, Before: rb.Path})
-		case rb.Found && ra.Found && !rb.Path.Equal(ra.Path):
-			im.Rerouted = append(im.Rerouted, PairChange{Req: req, Before: rb.Path, After: ra.Path})
-		}
+		im.Add(req, rb, ra)
 	}
 	return im
 }
@@ -95,6 +103,22 @@ func isTransit(path ad.Path, id ad.ID) bool {
 	return false
 }
 
+// SummaryLines renders the Gained/Lost/transit digest from raw counts —
+// the one rendering path shared by cmd/policytool's report and the routed
+// plan command, so the two tools print the same summary and cannot drift.
+func SummaryLines(focus ad.ID, transitBefore, transitAfter, gained, lost, rerouted int) []string {
+	return []string{
+		fmt.Sprintf("transit load: %d -> %d routed pairs cross %v", transitBefore, transitAfter, focus),
+		fmt.Sprintf("connectivity: +%d gained, -%d lost, %d rerouted", gained, lost, rerouted),
+	}
+}
+
+// SummaryLines renders the impact's digest through the shared path.
+func (im Impact) SummaryLines() []string {
+	return SummaryLines(im.AD, im.TransitBefore, im.TransitAfter,
+		len(im.Gained), len(im.Lost), len(im.Rerouted))
+}
+
 // Report writes a human-readable impact summary.
 func (im Impact) Report(w io.Writer) error {
 	var b []byte
@@ -103,9 +127,10 @@ func (im Impact) Report(w io.Writer) error {
 	}
 	p("policy impact assessment for %v over %d requests\n", im.AD, im.Requests)
 	p("  terms:        %d -> %d\n", im.TermsBefore, im.TermsAfter)
-	p("  transit load: %d -> %d routed pairs cross %v\n", im.TransitBefore, im.TransitAfter, im.AD)
 	p("  synthesis:    %d -> %d expansions across the population\n", im.WorkBefore, im.WorkAfter)
-	p("  connectivity: +%d gained, -%d lost, %d rerouted\n", len(im.Gained), len(im.Lost), len(im.Rerouted))
+	for _, line := range im.SummaryLines() {
+		p("  %s\n", line)
+	}
 	show := func(label string, changes []PairChange, limit int) {
 		if len(changes) == 0 {
 			return

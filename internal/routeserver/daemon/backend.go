@@ -19,6 +19,7 @@ import (
 	"repro/internal/ad"
 	"repro/internal/policy"
 	"repro/internal/routeserver"
+	"repro/internal/routeserver/plan"
 	"repro/internal/sim"
 	"repro/internal/synthesis"
 	"repro/internal/wire"
@@ -42,6 +43,12 @@ type Backend struct {
 	// removed remembers links taken down by Fail so Restore can re-add
 	// them with their original class and cost.
 	removed map[[2]ad.ID]ad.Link
+
+	// plans holds pending what-if plans by ID, awaiting Commit or
+	// displacement (the store is bounded; the oldest plan is dropped when
+	// a new one would exceed maxPendingPlans).
+	planSeq uint64
+	plans   map[uint64]*pendingPlan
 
 	// replicate, when set, is called inside each control mutation's
 	// MutateScoped closure — i.e. under the server's strategy lock — so an
@@ -117,6 +124,12 @@ func (b *Backend) Query(req policy.Request) routeserver.Result {
 func (b *Backend) Fail(x, y ad.ID) (evicted, retained, flushed int, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.fail(x, y)
+}
+
+// fail is Fail's body; caller holds b.mu (Commit loops it over a batch
+// under one hold).
+func (b *Backend) fail(x, y ad.ID) (evicted, retained, flushed int, err error) {
 	link, found := linkOf(b.g, x, y)
 	if !found {
 		return 0, 0, 0, fmt.Errorf("no link %v-%v", x, y)
@@ -137,6 +150,11 @@ func (b *Backend) Fail(x, y ad.ID) (evicted, retained, flushed int, err error) {
 func (b *Backend) Restore(x, y ad.ID) (evicted, retained int, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.restore(x, y)
+}
+
+// restore is Restore's body; caller holds b.mu.
+func (b *Backend) restore(x, y ad.ID) (evicted, retained int, err error) {
 	key := ad.Link{A: x, B: y}.Canonical()
 	link, found := b.removed[[2]ad.ID{key.A, key.B}]
 	if !found {
@@ -156,6 +174,11 @@ func (b *Backend) Restore(x, y ad.ID) (evicted, retained int, err error) {
 func (b *Backend) SetPolicy(a ad.ID, cost uint32) (evicted, retained int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.setPolicy(a, cost)
+}
+
+// setPolicy is SetPolicy's body; caller holds b.mu.
+func (b *Backend) setPolicy(a ad.ID, cost uint32) (evicted, retained int) {
 	term := policy.OpenTerm(a, 0)
 	term.Cost = cost
 	ch := synthesis.PolicyChangeOf(b.db.DiffTerms(a, []policy.Term{term}))
@@ -172,6 +195,106 @@ func (b *Backend) Invalidate() uint64 {
 	defer b.mu.Unlock()
 	b.srv.Mutate(func() { b.repl(wire.CtlInvalidate, 0, 0, 0) })
 	return b.srv.Generation()
+}
+
+// maxPendingPlans bounds the uncommitted-plan store: plans are cheap to
+// recompute, so an operator juggling more than this many proposals just
+// re-plans the displaced one.
+const maxPendingPlans = 16
+
+// pendingPlan is one computed, not-yet-committed what-if plan.
+type pendingPlan struct {
+	steps  []plan.Step
+	report *plan.Report
+}
+
+// Plan computes the blast radius of applying steps, in order, against the
+// live serving state — read-only, under the same lock control mutations
+// take — and parks the batch under a fresh plan ID for a later Commit. The
+// recorded query log (when the server has one) is replayed as the assessed
+// workload.
+func (b *Backend) Plan(steps []plan.Step) (id uint64, rep *plan.Report, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rep, err = plan.Compute(b.srv, b.dp, b.g, b.db, b.removed, steps,
+		plan.Config{Workload: b.srv.RecentQueries()})
+	if err != nil {
+		return 0, nil, err
+	}
+	b.planSeq++
+	id = b.planSeq
+	if b.plans == nil {
+		b.plans = make(map[uint64]*pendingPlan)
+	}
+	if len(b.plans) >= maxPendingPlans {
+		oldest := uint64(0)
+		for pid := range b.plans {
+			if oldest == 0 || pid < oldest {
+				oldest = pid
+			}
+		}
+		delete(b.plans, oldest)
+	}
+	b.plans[id] = &pendingPlan{steps: steps, report: rep}
+	return id, rep, nil
+}
+
+// CommitStep records what one applied plan step actually did.
+type CommitStep struct {
+	Evicted, Retained, Flushed int
+}
+
+// CommitResult records what applying a whole plan actually did: per-step
+// counts plus the batch totals (Retained is the final step's count —
+// what is still cached once the batch has landed).
+type CommitResult struct {
+	Steps             []CommitStep
+	Evicted, Retained int
+	Flushed           int
+}
+
+// Commit applies a previously computed plan. The staleness guard refuses
+// if the server's mutation epoch moved since the plan was computed — any
+// conflicting control mutation (not a routine cache fill) bumps it, so a
+// stale plan's predictions can no longer be trusted and the operator must
+// re-plan. A committed (or refused-as-stale) plan leaves the store; on a
+// mid-batch step error the earlier steps stay applied, exactly as if
+// issued individually, and the error reports which step failed.
+func (b *Backend) Commit(id uint64) (CommitResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.plans[id]
+	if !ok {
+		return CommitResult{}, fmt.Errorf("unknown plan %d", id)
+	}
+	delete(b.plans, id)
+	if now := b.srv.Epoch(); now != p.report.Epoch {
+		return CommitResult{}, fmt.Errorf("plan %d is stale: mutation epoch moved %d -> %d, re-plan",
+			id, p.report.Epoch, now)
+	}
+	var out CommitResult
+	for i, st := range p.steps {
+		var cs CommitStep
+		var err error
+		switch st.Kind {
+		case plan.StepFail:
+			cs.Evicted, cs.Retained, cs.Flushed, err = b.fail(st.A, st.B)
+		case plan.StepRestore:
+			cs.Evicted, cs.Retained, err = b.restore(st.A, st.B)
+		case plan.StepPolicy:
+			cs.Evicted, cs.Retained = b.setPolicy(st.A, st.Cost)
+		default:
+			err = fmt.Errorf("unknown step kind %d", st.Kind)
+		}
+		if err != nil {
+			return out, fmt.Errorf("plan %d step %d (%s): %v", id, i+1, st.Label(), err)
+		}
+		out.Steps = append(out.Steps, cs)
+		out.Evicted += cs.Evicted
+		out.Retained = cs.Retained
+		out.Flushed += cs.Flushed
+	}
+	return out, nil
 }
 
 // Stats snapshots the serving counters.

@@ -132,6 +132,32 @@ func (c *Client) DataOp(op uint8, handle uint64, arg uint32, req policy.Request)
 	return dr, nil
 }
 
+// Plan sends a what-if proposal (steps) and returns the predicted blast
+// radius plus the plan ID a later Commit may apply.
+func (c *Client) Plan(steps []wire.PlanStep) (*wire.PlanReply, error) {
+	c.seq++
+	return c.planRoundTrip(&wire.Plan{ID: c.seq, Steps: steps})
+}
+
+// Commit asks the daemon to apply a previously computed plan. The daemon
+// refuses (CtlErr) if its mutation epoch moved since the plan.
+func (c *Client) Commit(planID uint64) (*wire.PlanReply, error) {
+	c.seq++
+	return c.planRoundTrip(&wire.Plan{ID: c.seq, Commit: true, PlanID: planID})
+}
+
+func (c *Client) planRoundTrip(m *wire.Plan) (*wire.PlanReply, error) {
+	rep, err := c.roundTrip(m)
+	if err != nil {
+		return nil, err
+	}
+	pr, ok := rep.(*wire.PlanReply)
+	if !ok || pr.ID != c.seq {
+		return nil, fmt.Errorf("daemon: bad plan reply %T", rep)
+	}
+	return pr, nil
+}
+
 // Stats fetches the serving counters.
 func (c *Client) Stats() (*wire.StatsReply, error) {
 	c.seq++

@@ -359,6 +359,10 @@ func (d *Daemon) dispatch(m wire.Message) (reply wire.Message, drain bool) {
 			if id, addr, redir := (*p)(); redir {
 				return &wire.NotPrimary{ID: q.ID, PrimaryID: id, Addr: addr}, false
 			}
+		case *wire.Plan:
+			if id, addr, redir := (*p)(); redir {
+				return &wire.NotPrimary{ID: q.ID, PrimaryID: id, Addr: addr}, false
+			}
 		}
 	}
 	switch q := m.(type) {
@@ -431,6 +435,9 @@ func (d *Daemon) dispatch(m wire.Message) (reply wire.Message, drain bool) {
 			rep.Code = wire.DataBadOp
 		}
 		return rep, false
+
+	case *wire.Plan:
+		return d.be.HandlePlan(q), false
 
 	case *wire.StatsQuery:
 		st := d.be.Stats()

@@ -263,6 +263,33 @@ func (d *DataPlane) InvalidateLink(a, b ad.ID) (flushed int) {
 	return flushed
 }
 
+// FlowsCrossing lists, in ascending handle order, the live flows that
+// InvalidateLink(a, b) would tear down and queue for repair. It mirrors
+// the teardown condition exactly — a flow dies when its *source* AD's
+// table still holds a live entry whose route crosses the a-b adjacency —
+// resolved through the same per-table link indexes, so the cost scales
+// with the flows actually crossing the link. It is the read-only half of
+// the eager failure-driven teardown; the what-if plan engine uses it to
+// predict data-plane blast radius without touching any state.
+func (d *DataPlane) FlowsCrossing(a, b ad.ID) []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0)
+	for _, id := range d.sortedADs() {
+		t := d.tables[id]
+		for _, h := range t.HandlesCrossing(a, b) {
+			if _, ok := t.Peek(d.now, h); !ok {
+				continue
+			}
+			if f, ok := d.flows[h]; ok && f.Path.Source() == id {
+				out = append(out, h)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Repair re-establishes every queued flow through srv, in handle order:
 // query a fresh route (the server's cache reflects post-failure topology
 // after its own invalidation) and install it under a new handle. Wall time

@@ -103,6 +103,11 @@ type Config struct {
 	// Workers bounds concurrent miss computations (default GOMAXPROCS).
 	// Coalesced waiters do not consume workers.
 	Workers int
+	// QueryLog, when > 0, keeps a bounded ring of the most recent queries.
+	// The what-if plan engine replays it as the recorded workload, so
+	// "which pairs lose all routes" reflects real traffic rather than just
+	// cache residency. 0 disables recording.
+	QueryLog int
 }
 
 func (c Config) normalize() Config {
@@ -146,6 +151,13 @@ type shard struct {
 	byLink map[[2]ad.ID]map[Key]struct{}
 	byTerm map[policy.Key]map[Key]struct{}
 	negs   map[Key]struct{}
+	// live counts resident current-generation entries — the population
+	// scoped mutations report as "retained" and the plan engine reads in
+	// O(shards) instead of O(cache). Maintained under mu at every insert,
+	// capacity eviction, stale-on-sight deletion, and scoped eviction; a
+	// full bump zeroes it (every resident entry just went stale, deletion
+	// stays lazy). Stale entries are never counted.
+	live int
 }
 
 // index adds k's dependency edges. Caller holds mu.
@@ -196,13 +208,14 @@ func (sh *shard) unindex(k Key, c cached) {
 	}
 }
 
-// evictScoped drops every entry the change can affect, resolved through
-// the reverse index, and returns the number of entries actually deleted —
-// a victim key whose cache entry is already gone (e.g. dropped by a
-// concurrent lookup's stale-on-sight deletion between index resolution and
-// here, or a dangling index edge) is not counted as eviction work. Caller
-// holds mu.
-func (sh *shard) evictScoped(c synthesis.Change) int {
+// victimKeys resolves the set of cached keys the change can affect through
+// the reverse index: routes crossing a failed link, routes admitted by a
+// removed or modified policy term, and — when the change broadens what is
+// routable — cached negative answers. Shared by evictScoped (which deletes
+// the victims) and the read-only plan path CollectAffected (which only
+// reports them), so prediction and eviction can never disagree on the
+// soundness rules. Caller holds mu.
+func (sh *shard) victimKeys(c synthesis.Change) map[Key]struct{} {
 	victims := make(map[Key]struct{})
 	switch c.Kind {
 	case synthesis.ChangeLinkDown:
@@ -231,12 +244,26 @@ func (sh *shard) evictScoped(c synthesis.Change) int {
 			victims[k] = struct{}{}
 		}
 	}
+	return victims
+}
+
+// evictScoped drops every entry the change can affect, resolved through
+// the reverse index, and returns the number of entries actually deleted —
+// a victim key whose cache entry is already gone (e.g. dropped by a
+// concurrent lookup's stale-on-sight deletion between index resolution and
+// here, or a dangling index edge) is not counted as eviction work. gen is
+// the current cache generation: victims still carrying it come out of the
+// live count. Caller holds mu.
+func (sh *shard) evictScoped(c synthesis.Change, gen uint64) int {
 	deleted := 0
-	for k := range victims {
+	for k := range sh.victimKeys(c) {
 		if ent, ok := sh.lru.Peek(k); ok {
 			sh.unindex(k, ent)
 			sh.lru.Delete(k)
 			deleted++
+			if ent.gen == gen {
+				sh.live--
+			}
 		}
 	}
 	return deleted
@@ -285,6 +312,7 @@ type Metrics struct {
 	scopedEvicted   atomic.Uint64
 	scopedRetained  atomic.Uint64
 	latency         metrics.Histogram
+	synthLat        metrics.Histogram
 }
 
 // MetricsSnapshot is a point-in-time copy of the server counters.
@@ -315,6 +343,10 @@ type MetricsSnapshot struct {
 	ScopedRetained uint64
 	// Latency digests per-query serving latency.
 	Latency metrics.LatencySummary
+	// SynthLatency digests the wall time of each synthesis computation
+	// (strategy route + footprint extraction, under the strategy lock).
+	// The plan engine projects the re-synthesis bill from it.
+	SynthLatency metrics.LatencySummary
 }
 
 // HitRate returns the fraction of queries served without running a
@@ -342,6 +374,45 @@ type Server struct {
 	stratMu  sync.Mutex // serializes strategy calls and invalidation mutations
 	strategy synthesis.Strategy
 	onInsert func(Key, Result, synthesis.Footprint)
+	qlog     queryLog
+}
+
+// queryLog is the bounded ring of recent queries (Config.QueryLog). buf is
+// sized once at construction and never resized, so its length may be read
+// without the mutex.
+type queryLog struct {
+	mu   sync.Mutex
+	buf  []policy.Request
+	next int
+	full bool
+}
+
+func (q *queryLog) record(req policy.Request) {
+	if len(q.buf) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.buf[q.next] = req
+	q.next++
+	if q.next == len(q.buf) {
+		q.next, q.full = 0, true
+	}
+	q.mu.Unlock()
+}
+
+func (q *queryLog) recent() []policy.Request {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.full {
+		return append([]policy.Request(nil), q.buf[:q.next]...)
+	}
+	out := make([]policy.Request, 0, len(q.buf))
+	out = append(out, q.buf[q.next:]...)
+	out = append(out, q.buf[:q.next]...)
+	return out
 }
 
 // New wraps the strategy in a serving layer. The strategy must not be used
@@ -371,8 +442,16 @@ func New(strategy synthesis.Strategy, cfg Config) *Server {
 		sh.byTerm = make(map[policy.Key]map[Key]struct{})
 		sh.negs = make(map[Key]struct{})
 		// Capacity evictions fire inside Put, i.e. under sh.mu: keep the
-		// reverse index in step with the LRU.
-		sh.lru.OnEvict = func(k Key, c cached) { sh.unindex(k, c) }
+		// reverse index and the live count in step with the LRU.
+		sh.lru.OnEvict = func(k Key, c cached) {
+			sh.unindex(k, c)
+			if c.gen == s.gen.Load() {
+				sh.live--
+			}
+		}
+	}
+	if cfg.QueryLog > 0 {
+		s.qlog.buf = make([]policy.Request, cfg.QueryLog)
 	}
 	return s
 }
@@ -380,6 +459,17 @@ func New(strategy synthesis.Strategy, cfg Config) *Server {
 // Generation returns the current cache generation (bumped by every
 // invalidation).
 func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Epoch returns the mutation epoch. Unlike the generation it is bumped by
+// every mutation, full or scoped — but not by routine cache fills — so the
+// plan/commit staleness guard compares it: a commit is refused exactly
+// when a conflicting mutation landed after the plan was computed.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// RecentQueries returns the last Config.QueryLog queries in arrival order
+// (oldest first), or nil when recording is disabled. The plan engine
+// replays them as the recorded workload.
+func (s *Server) RecentQueries() []policy.Request { return s.qlog.recent() }
 
 // lookup serves k from the cache if a current-generation entry exists.
 // Stale entries are deleted on sight.
@@ -392,6 +482,12 @@ func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
 		return Result{}, false
 	}
 	if c.gen != gen {
+		// gen was loaded before sh.mu was taken; re-check against the live
+		// generation so an entry inserted after a concurrent bump is not
+		// dropped from the count it was added under.
+		if c.gen == s.gen.Load() {
+			sh.live--
+		}
 		sh.unindex(k, c)
 		sh.lru.Delete(k)
 		return Result{}, false
@@ -400,17 +496,23 @@ func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
 }
 
 // insert stores a computed result tagged with the generation it was
-// computed under and indexes its dependency footprint.
+// computed under and indexes its dependency footprint. Every caller loads
+// gen under stratMu and inserts under the same hold, so gen is always the
+// current generation and the new entry always joins the live count.
 func (s *Server) insert(k Key, gen uint64, res Result, fp synthesis.Footprint) {
 	sh := &s.shards[k.hash()&s.mask]
 	sh.mu.Lock()
 	if old, ok := sh.lru.Peek(k); ok {
 		sh.unindex(k, old)
+		if old.gen == gen {
+			sh.live--
+		}
 	}
 	ent := cached{gen: gen, path: res.Path, found: res.Found, fp: fp}
 	if sh.lru.Put(k, ent) {
 		s.met.evictions.Add(1)
 	}
+	sh.live++
 	sh.index(k, ent)
 	sh.mu.Unlock()
 }
@@ -420,6 +522,7 @@ func (s *Server) Query(req policy.Request) Result {
 	start := time.Now()
 	defer func() { s.met.latency.Observe(time.Since(start)) }()
 	s.met.queries.Add(1)
+	s.qlog.record(req)
 
 	k := KeyOf(req)
 	gen := s.gen.Load()
@@ -491,12 +594,14 @@ func (s *Server) compute(req policy.Request) Result {
 	s.stratMu.Lock()
 	defer s.stratMu.Unlock()
 	gen := s.gen.Load() // the generation this computation's view belongs to
+	synthStart := time.Now()
 	path, found := s.strategy.Route(req)
 	res := Result{Path: path, Found: found}
 	var fp synthesis.Footprint
 	if found {
 		fp = s.strategy.Footprint(req, path)
 	}
+	s.met.synthLat.Observe(time.Since(synthStart))
 	s.insert(KeyOf(req), gen, res, fp)
 	if s.onInsert != nil {
 		// Still under stratMu: the hook observes inserts and mutations
@@ -544,6 +649,14 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 	if ch.Kind == synthesis.ChangeFull {
 		s.gen.Add(1)
 		s.epoch.Add(1)
+		// Every resident entry just went stale: zero the live counts
+		// (the deletions themselves stay lazy).
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.live = 0
+			sh.mu.Unlock()
+		}
 		s.strategy.Invalidate()
 		s.met.invalidations.Add(1)
 		return 0, 0
@@ -555,8 +668,8 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		evicted += sh.evictScoped(ch)
-		retained += sh.retainedCurrent(gen)
+		evicted += sh.evictScoped(ch, gen)
+		retained += sh.live
 		sh.mu.Unlock()
 	}
 	s.strategy.InvalidateScoped(ch)
@@ -630,6 +743,47 @@ func (s *Server) DumpEntries(fn func()) []CacheEntry {
 	return out
 }
 
+// CollectAffected is the read-only half of scoped invalidation, built for
+// the what-if plan engine. It runs prepare under the strategy lock — the
+// engine uses it to clone the graph/policy state and derive the batch's
+// changes from one consistent cut — then resolves each returned change's
+// victims through the same reverse indexes and soundness rules evictScoped
+// applies, without deleting anything. It returns the victim entries per
+// change (current generation only; stale leftovers of an old full bump are
+// dead weight, not predicted work), the live current-generation entry
+// count, and the epoch/generation the snapshot corresponds to. Nothing a
+// query can observe is mutated, and the cost is proportional to the
+// changes' blast radius (index fan-out), not to the cache size.
+func (s *Server) CollectAffected(prepare func() ([]synthesis.Change, error)) (perChange [][]CacheEntry, live int, epoch, gen uint64, err error) {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	changes, err := prepare()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	gen = s.gen.Load()
+	epoch = s.epoch.Load()
+	perChange = make([][]CacheEntry, len(changes))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		live += sh.live
+		for ci := range changes {
+			for k := range sh.victimKeys(changes[ci]) {
+				if ent, ok := sh.lru.Peek(k); ok && ent.gen == gen {
+					perChange[ci] = append(perChange[ci], CacheEntry{
+						Key: k,
+						Res: Result{Path: ent.path, Found: ent.found},
+						Fp:  ent.fp,
+					})
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return perChange, live, epoch, gen, nil
+}
+
 // StrategyStats returns the wrapped strategy's cumulative instrumentation.
 func (s *Server) StrategyStats() synthesis.StrategyStats {
 	s.stratMu.Lock()
@@ -667,5 +821,6 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		ScopedEvicted:   s.met.scopedEvicted.Load(),
 		ScopedRetained:  s.met.scopedRetained.Load(),
 		Latency:         s.met.latency.Snapshot(),
+		SynthLatency:    s.met.synthLat.Snapshot(),
 	}
 }

@@ -164,19 +164,46 @@ type ProtocolSpec struct {
 
 // Event is one timeline entry, applied after the previous phase converges.
 type Event struct {
-	// Action is "fail", "restore", "update-policy", or "kill-primary".
-	// kill-primary models a route-server replica failover: in single-server
-	// replay it compiles to a full invalidation (the cold cache a restarted
-	// server — or an unreplicated standby — starts from); protocol
-	// simulations re-evaluate without mutating the network.
+	// Action is "fail", "restore", "update-policy", "kill-primary", or
+	// "plan". kill-primary models a route-server replica failover: in
+	// single-server replay it compiles to a full invalidation (the cold
+	// cache a restarted server — or an unreplicated standby — starts
+	// from); protocol simulations re-evaluate without mutating the
+	// network. plan is a what-if proposal: the Steps batch is assessed
+	// against a cloned world — nothing in the live scenario mutates — and
+	// the Assert bounds are enforced on the predicted report.
 	Action string `json:"action"`
 	// A and B are the link endpoints for fail/restore.
 	A uint32 `json:"a,omitempty"`
 	B uint32 `json:"b,omitempty"`
-	// AD is the update-policy target.
+	// AD is the update-policy target (and the advertiser of a "policy"
+	// plan step).
 	AD uint32 `json:"ad,omitempty"`
 	// Terms replace the AD's policy for update-policy.
 	Terms []TermSpec `json:"terms,omitempty"`
+	// Cost is the open-term cost of a "policy" plan step.
+	Cost uint32 `json:"cost,omitempty"`
+	// Steps is a "plan" event's proposed batch, in order: nested events
+	// restricted to "fail", "restore" (of a link failed earlier in the
+	// same batch), and "policy" (AD + Cost, the open-term replacement the
+	// plan engine proposes).
+	Steps []Event `json:"steps,omitempty"`
+	// Assert bounds a "plan" event's predicted report; the scenario fails
+	// if a bound is exceeded.
+	Assert *PlanAssert `json:"assert,omitempty"`
+}
+
+// PlanAssert bounds the predicted report of a "plan" event. Nil fields are
+// unchecked.
+type PlanAssert struct {
+	// MaxLost caps the pairs that lose all routes (routable before the
+	// batch, not after).
+	MaxLost *int `json:"max_lost,omitempty"`
+	// MinGained floors the pairs that gain a route.
+	MinGained *int `json:"min_gained,omitempty"`
+	// MaxUnroutableAfter caps the workload pairs with no route after the
+	// batch, routable before or not.
+	MaxUnroutableAfter *int `json:"max_unroutable_after,omitempty"`
 }
 
 // RequestSpec selects the traffic workload. Exactly one field should be
@@ -385,11 +412,120 @@ func (sc *Scenario) Mutations(g *ad.Graph, db *policy.DB) ([]Mutation, error) {
 				Apply:  func() {},
 				Change: synthesis.FullChange(),
 			})
+		case "plan":
+			// A plan predicts, it never mutates: validate the batch and
+			// emit no Mutation, so churn replay skips it.
+			if err := validatePlanEvent(g, i, ev); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("scenario: event %d: unknown action %q", i+1, ev.Action)
 		}
 	}
 	return out, nil
+}
+
+// validatePlanEvent checks a "plan" event's batch and assert bounds
+// without touching the graph or policy database.
+func validatePlanEvent(g *ad.Graph, i int, ev Event) error {
+	if len(ev.Steps) == 0 {
+		return fmt.Errorf("scenario: event %d: plan needs at least one step", i+1)
+	}
+	failed := make(map[[2]ad.ID]bool)
+	for j, st := range ev.Steps {
+		switch st.Action {
+		case "fail":
+			a, b := ad.ID(st.A), ad.ID(st.B)
+			if _, ok := findLink(g, a, b); !ok {
+				return fmt.Errorf("scenario: event %d step %d: no link %v-%v", i+1, j+1, a, b)
+			}
+			failed[synthesis.CanonicalPair(a, b)] = true
+		case "restore":
+			a, b := ad.ID(st.A), ad.ID(st.B)
+			if !failed[synthesis.CanonicalPair(a, b)] {
+				return fmt.Errorf("scenario: event %d step %d: restore %v-%v does not follow a fail of it in this plan", i+1, j+1, a, b)
+			}
+			delete(failed, synthesis.CanonicalPair(a, b))
+		case "policy":
+			if _, ok := g.AD(ad.ID(st.AD)); !ok {
+				return fmt.Errorf("scenario: event %d step %d: unknown AD %v", i+1, j+1, ad.ID(st.AD))
+			}
+		default:
+			return fmt.Errorf("scenario: event %d step %d: unknown plan step action %q", i+1, j+1, st.Action)
+		}
+	}
+	if as := ev.Assert; as != nil {
+		for name, v := range map[string]*int{
+			"max_lost": as.MaxLost, "min_gained": as.MinGained,
+			"max_unroutable_after": as.MaxUnroutableAfter,
+		} {
+			if v != nil && *v < 0 {
+				return fmt.Errorf("scenario: event %d: plan assert %s must be >= 0, got %d", i+1, name, *v)
+			}
+		}
+	}
+	return nil
+}
+
+// evaluatePlanEvent assesses a "plan" event's batch against clones of the
+// current graph and policy database — the live scenario is untouched —
+// and enforces the event's assert bounds on the predicted report.
+func evaluatePlanEvent(g *ad.Graph, db *policy.DB, reqs []policy.Request, i int, ev Event) (gained, lost, unroutable int, err error) {
+	gAfter, dbAfter := g.Clone(), db.Clone()
+	removed := make(map[[2]ad.ID]ad.Link)
+	for j, st := range ev.Steps {
+		switch st.Action {
+		case "fail":
+			a, b := ad.ID(st.A), ad.ID(st.B)
+			link, ok := gAfter.LinkBetween(a, b)
+			if !ok {
+				return 0, 0, 0, fmt.Errorf("scenario: event %d step %d: no link %v-%v", i+1, j+1, a, b)
+			}
+			removed[synthesis.CanonicalPair(a, b)] = link
+			gAfter.RemoveLink(a, b)
+		case "restore":
+			a, b := ad.ID(st.A), ad.ID(st.B)
+			link, ok := removed[synthesis.CanonicalPair(a, b)]
+			if !ok {
+				return 0, 0, 0, fmt.Errorf("scenario: event %d step %d: restore %v-%v does not follow a fail of it in this plan", i+1, j+1, a, b)
+			}
+			delete(removed, synthesis.CanonicalPair(a, b))
+			if err := gAfter.AddLink(link); err != nil {
+				return 0, 0, 0, fmt.Errorf("scenario: event %d step %d: %w", i+1, j+1, err)
+			}
+		case "policy":
+			term := policy.OpenTerm(ad.ID(st.AD), 0)
+			term.Cost = st.Cost
+			dbAfter.SetTerms(ad.ID(st.AD), []policy.Term{term})
+		default:
+			return 0, 0, 0, fmt.Errorf("scenario: event %d step %d: unknown plan step action %q", i+1, j+1, st.Action)
+		}
+	}
+	for _, req := range reqs {
+		before := synthesis.FindRoute(g, db, req)
+		after := synthesis.FindRoute(gAfter, dbAfter, req)
+		switch {
+		case !before.Found && after.Found:
+			gained++
+		case before.Found && !after.Found:
+			lost++
+		}
+		if !after.Found {
+			unroutable++
+		}
+	}
+	if as := ev.Assert; as != nil {
+		if as.MaxLost != nil && lost > *as.MaxLost {
+			return gained, lost, unroutable, fmt.Errorf("scenario: event %d: plan predicts %d pairs lost, assert max_lost %d", i+1, lost, *as.MaxLost)
+		}
+		if as.MinGained != nil && gained < *as.MinGained {
+			return gained, lost, unroutable, fmt.Errorf("scenario: event %d: plan predicts %d pairs gained, assert min_gained %d", i+1, gained, *as.MinGained)
+		}
+		if as.MaxUnroutableAfter != nil && unroutable > *as.MaxUnroutableAfter {
+			return gained, lost, unroutable, fmt.Errorf("scenario: event %d: plan predicts %d pairs unroutable after, assert max_unroutable_after %d", i+1, unroutable, *as.MaxUnroutableAfter)
+		}
+	}
+	return gained, lost, unroutable, nil
 }
 
 // findLink returns the graph's link between a and b, if present.
@@ -461,6 +597,16 @@ func (sc *Scenario) Run(w io.Writer) error {
 			// A route-server replica event: the protocol network itself is
 			// untouched, so the phase just re-evaluates.
 			label = fmt.Sprintf("event %d: kill-primary", i+1)
+		case "plan":
+			// A what-if proposal: assessed on clones, asserted, reported as
+			// a note — the live world and the phase table see no change.
+			gained, lost, unroutable, err := evaluatePlanEvent(g, currentDB(sys, db), reqs, i, ev)
+			if err != nil {
+				return err
+			}
+			tbl.AddNote("event %d: plan (%d steps): %d gained, %d lost, %d unroutable after — asserts hold",
+				i+1, len(ev.Steps), gained, lost, unroutable)
+			continue
 		default:
 			return fmt.Errorf("scenario: unknown event action %q", ev.Action)
 		}

@@ -160,6 +160,80 @@ func TestBadEventAction(t *testing.T) {
 	}
 }
 
+func TestPlanEvent(t *testing.T) {
+	out := run(t, `{
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "orwg"},
+		"events": [
+			{"action": "plan", "steps": [
+				{"action": "fail", "a": 4, "b": 5},
+				{"action": "policy", "ad": 1, "cost": 5},
+				{"action": "restore", "a": 4, "b": 5}
+			], "assert": {"max_lost": 0, "min_gained": 0, "max_unroutable_after": 0}}
+		],
+		"requests": {"all_stub_pairs": true}
+	}`)
+	if !strings.Contains(out, "plan (3 steps): 0 gained, 0 lost, 0 unroutable after") {
+		t.Errorf("plan note missing:\n%s", out)
+	}
+	// A plan mutates nothing: exactly one phase row (initial) is rendered.
+	if strings.Count(out, "initial") != 1 || strings.Contains(out, "event 1: plan\n") {
+		t.Errorf("plan produced a phase row:\n%s", out)
+	}
+}
+
+func TestPlanEventAssertViolation(t *testing.T) {
+	// Stranding campus-1 (its only link is to regional-3) must trip
+	// max_lost 0.
+	sc, err := Load(strings.NewReader(`{
+		"topology": {"figure1": true},
+		"policy": {"open": true},
+		"protocol": {"name": "orwg"},
+		"events": [
+			{"action": "plan", "steps": [{"action": "fail", "a": 6, "b": 3}],
+			 "assert": {"max_lost": 0}}
+		],
+		"requests": {"all_stub_pairs": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := sc.Run(&out); err == nil || !strings.Contains(err.Error(), "max_lost") {
+		t.Errorf("assert violation: err = %v", err)
+	}
+}
+
+func TestPlanEventValidation(t *testing.T) {
+	cases := []struct {
+		event string
+		want  string
+	}{
+		{`{"action": "plan"}`, "at least one step"},
+		{`{"action": "plan", "steps": [{"action": "fail", "a": 1, "b": 6}]}`, "no link"},
+		{`{"action": "plan", "steps": [{"action": "restore", "a": 1, "b": 2}]}`, "does not follow a fail"},
+		{`{"action": "plan", "steps": [{"action": "policy", "ad": 99}]}`, "unknown AD"},
+		{`{"action": "plan", "steps": [{"action": "explode"}]}`, "unknown plan step action"},
+		{`{"action": "plan", "steps": [{"action": "policy", "ad": 1}], "assert": {"max_lost": -1}}`, "must be >= 0"},
+	}
+	for _, tc := range cases {
+		sc, err := Load(strings.NewReader(`{
+			"topology": {"figure1": true},
+			"policy": {"open": true},
+			"protocol": {"name": "orwg"},
+			"events": [` + tc.event + `],
+			"requests": {"all_stub_pairs": true}
+		}`))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", tc.event, err)
+		}
+		if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate err = %v, want %q", tc.event, err, tc.want)
+		}
+	}
+}
+
 func TestADSetSpecRoundTrip(t *testing.T) {
 	var s ADSetSpec
 	if err := s.UnmarshalJSON([]byte(`"*"`)); err != nil {

@@ -46,6 +46,19 @@ func daemonMessages() []Message {
 		&Promote{ReplicaID: 2, Epoch: 4},
 		&NotPrimary{ID: 5, PrimaryID: 1, Addr: "127.0.0.1:4242"},
 		&NotPrimary{},
+		&Plan{ID: 12, Steps: []PlanStep{
+			{Op: CtlFail, A: 2, B: 4},
+			{Op: CtlPolicy, A: 7, Cost: 10},
+		}},
+		&Plan{ID: 13, Commit: true, PlanID: 3},
+		&PlanReply{ID: 12, Code: CtlOK, PlanID: 3, Epoch: 9,
+			Evicted: 17, Retained: 203, Teardowns: 4, Unroutable: 2, Resynth: 17,
+			MeanSynthNanos: 12345, ProjNanos: 209865, Focus: 7,
+			Gained: 1, Lost: 2, Rerouted: 5, TransitBefore: 40, TransitAfter: 38,
+			Truncated: true},
+		&PlanReply{ID: 13, Code: CtlOK, PlanID: 3, Committed: true,
+			Evicted: 17, Retained: 203, Flushed: 6},
+		&PlanReply{ID: 14, Code: CtlErr, Err: "plan 3 is stale: mutation epoch moved 9 -> 11, re-plan"},
 	}
 }
 

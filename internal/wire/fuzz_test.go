@@ -46,6 +46,8 @@ func TestUnmarshalMutatedValidMessages(t *testing.T) {
 		Marshal(&ControlReply{ID: 9, Code: CtlErr, Err: "no link"}),
 		Marshal(&DataOpReply{ID: 5, Op: OpState, Text: "flows 3"}),
 		Marshal(&StatsReply{ID: 10, Queries: 100}),
+		Marshal(&Plan{ID: 12, Steps: []PlanStep{{Op: CtlFail, A: 2, B: 4}}}),
+		Marshal(&PlanReply{ID: 12, Code: CtlOK, PlanID: 3, Evicted: 17, Retained: 203}),
 	}
 	for trial := 0; trial < 5000; trial++ {
 		base := bases[rng.Intn(len(bases))]
@@ -122,6 +124,13 @@ func FuzzDecode(f *testing.F) {
 		&SyncSnapshot{Seq: 40, Done: true},
 		&Promote{ReplicaID: 2, Epoch: 4},
 		&NotPrimary{ID: 5, PrimaryID: 1, Addr: "127.0.0.1:4242"},
+		&Plan{ID: 12, Steps: []PlanStep{{Op: CtlFail, A: 2, B: 4}, {Op: CtlPolicy, A: 7, Cost: 10}}},
+		&Plan{ID: 13, Commit: true, PlanID: 3},
+		&PlanReply{ID: 12, Code: CtlOK, PlanID: 3, Epoch: 9,
+			Evicted: 17, Retained: 203, Teardowns: 4, Unroutable: 2, Resynth: 17,
+			MeanSynthNanos: 12345, ProjNanos: 209865, Focus: 7,
+			Gained: 1, Lost: 2, Rerouted: 5, TransitBefore: 40, TransitAfter: 38},
+		&PlanReply{ID: 14, Code: CtlErr, Err: "plan 3 is stale", Committed: true},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))

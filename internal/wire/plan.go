@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"repro/internal/ad"
+)
+
+// What-if planning messages: a daemon session may propose a batch of
+// control mutations (Plan with Commit false), receive the predicted blast
+// radius (PlanReply carrying the plan ID), and later apply it (Plan with
+// Commit true naming the plan ID; the daemon refuses if its mutation epoch
+// moved since the plan was computed). Like every serving message, requests
+// carry a client-chosen ID echoed verbatim in the reply.
+
+// PlanStep is one proposed control mutation. Op reuses the Control
+// operation codes CtlFail, CtlRestore, and CtlPolicy (CtlInvalidate is not
+// plannable: a full bump's blast radius is the whole cache by definition).
+type PlanStep struct {
+	Op   uint8
+	A, B ad.ID
+	Cost uint32
+}
+
+// Plan proposes a what-if batch (Commit false, Steps set) or asks to apply
+// a previously computed plan (Commit true, PlanID set).
+type Plan struct {
+	ID     uint64
+	Commit bool
+	PlanID uint64
+	Steps  []PlanStep
+}
+
+// Type implements Message.
+func (*Plan) Type() MsgType { return TypePlan }
+
+func (m *Plan) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.ID)
+	commit := uint8(0)
+	if m.Commit {
+		commit = 1
+	}
+	dst = append(dst, commit)
+	dst = appendU64(dst, m.PlanID)
+	dst = appendU16(dst, uint16(len(m.Steps)))
+	for _, st := range m.Steps {
+		dst = append(dst, st.Op)
+		dst = appendU32(dst, uint32(st.A))
+		dst = appendU32(dst, uint32(st.B))
+		dst = appendU32(dst, st.Cost)
+	}
+	return dst
+}
+
+func (m *Plan) decodeBody(r *reader) {
+	m.ID = r.u64()
+	m.Commit = r.u8() == 1
+	m.PlanID = r.u64()
+	n := int(r.u16())
+	if r.err != nil {
+		return
+	}
+	m.Steps = make([]PlanStep, 0, n)
+	for i := 0; i < n; i++ {
+		st := PlanStep{
+			Op:   r.u8(),
+			A:    ad.ID(r.u32()),
+			B:    ad.ID(r.u32()),
+			Cost: r.u32(),
+		}
+		if r.err != nil {
+			m.Steps = nil
+			return
+		}
+		m.Steps = append(m.Steps, st)
+	}
+	if len(m.Steps) == 0 {
+		m.Steps = nil
+	}
+}
+
+// PlanReply answers a Plan. For a proposal it carries the predicted blast
+// radius: cache entries evicted vs retained, live flows torn down, pairs
+// losing all routes, the re-synthesis bill (count plus a latency
+// projection from the live synthesis histogram), and the shared
+// gained/lost/rerouted/transit impact summary for the focus AD. For a
+// commit it carries the observed eviction/retention/flush counts with
+// Committed true. Code is CtlOK or CtlErr (Err holds the reason — e.g. the
+// staleness refusal).
+type PlanReply struct {
+	ID   uint64
+	Code uint8
+	Err  string
+	// PlanID names the parked plan a later commit may apply; Epoch is the
+	// server state it was computed against.
+	PlanID uint64
+	Epoch  uint64
+	// Committed distinguishes an applied plan's observed counts from a
+	// proposal's predictions.
+	Committed bool
+	Evicted   uint64
+	Retained  uint64
+	Teardowns uint64
+	// Flushed counts PG handle entries invalidated by committed link
+	// failures (commit replies only).
+	Flushed uint64
+	// Unroutable counts pairs that lose all routes; Resynth is the
+	// re-synthesis bill's count, with the projection priced from the live
+	// histogram (nanoseconds; zero before any synthesis was observed).
+	Unroutable     uint64
+	Resynth        uint64
+	MeanSynthNanos uint64
+	ProjNanos      uint64
+	// The shared impact summary (policytool's rendering path).
+	Focus         ad.ID
+	Gained        uint64
+	Lost          uint64
+	Rerouted      uint64
+	TransitBefore uint64
+	TransitAfter  uint64
+	// Truncated reports that the shadow-synthesis budget cut the assessed
+	// population short.
+	Truncated bool
+}
+
+// OK reports whether the plan operation succeeded.
+func (m *PlanReply) OK() bool { return m.Code == CtlOK }
+
+// Type implements Message.
+func (*PlanReply) Type() MsgType { return TypePlanReply }
+
+func (m *PlanReply) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.ID)
+	dst = append(dst, m.Code)
+	dst = appendString(dst, m.Err)
+	dst = appendU64(dst, m.PlanID)
+	dst = appendU64(dst, m.Epoch)
+	flags := uint8(0)
+	if m.Committed {
+		flags |= 1
+	}
+	if m.Truncated {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	for _, v := range []uint64{
+		m.Evicted, m.Retained, m.Teardowns, m.Flushed,
+		m.Unroutable, m.Resynth, m.MeanSynthNanos, m.ProjNanos,
+	} {
+		dst = appendU64(dst, v)
+	}
+	dst = appendU32(dst, uint32(m.Focus))
+	for _, v := range []uint64{m.Gained, m.Lost, m.Rerouted, m.TransitBefore, m.TransitAfter} {
+		dst = appendU64(dst, v)
+	}
+	return dst
+}
+
+func (m *PlanReply) decodeBody(r *reader) {
+	m.ID = r.u64()
+	m.Code = r.u8()
+	m.Err = readString(r)
+	m.PlanID = r.u64()
+	m.Epoch = r.u64()
+	flags := r.u8()
+	m.Committed = flags&1 != 0
+	m.Truncated = flags&2 != 0
+	m.Evicted = r.u64()
+	m.Retained = r.u64()
+	m.Teardowns = r.u64()
+	m.Flushed = r.u64()
+	m.Unroutable = r.u64()
+	m.Resynth = r.u64()
+	m.MeanSynthNanos = r.u64()
+	m.ProjNanos = r.u64()
+	m.Focus = ad.ID(r.u32())
+	m.Gained = r.u64()
+	m.Lost = r.u64()
+	m.Rerouted = r.u64()
+	m.TransitBefore = r.u64()
+	m.TransitAfter = r.u64()
+}

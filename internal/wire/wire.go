@@ -86,6 +86,12 @@ const (
 	// TypeNotPrimary redirects a client (or refuses a sync stream) toward
 	// the current primary.
 	TypeNotPrimary
+	// TypePlan proposes a what-if control batch for blast-radius
+	// prediction, or commits a previously computed plan.
+	TypePlan
+	// TypePlanReply carries the predicted blast radius (or the committed
+	// plan's observed counts).
+	TypePlanReply
 )
 
 // String implements fmt.Stringer.
@@ -139,6 +145,10 @@ func (t MsgType) String() string {
 		return "promote"
 	case TypeNotPrimary:
 		return "not-primary"
+	case TypePlan:
+		return "plan"
+	case TypePlanReply:
+		return "plan-reply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -250,6 +260,10 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &Promote{}
 	case TypeNotPrimary:
 		m = &NotPrimary{}
+	case TypePlan:
+		m = &Plan{}
+	case TypePlanReply:
+		m = &PlanReply{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
 	}
