@@ -24,14 +24,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The HA, pgstate, and plan packages run twice under the detector: HA
-# exercises real sockets, elections, and concurrent sync streams; pgstate's
-# shard stress drives one table from many goroutines; plan snapshots a
-# server that concurrent queries are hammering (its read-only guarantee is
-# exactly the kind of claim the detector can refute). All see different
-# interleavings run to run.
+# The routeserver, HA, pgstate, and plan packages run twice under the
+# detector: routeserver's parallel miss path overlaps slow searches with
+# scoped and full mutations (the reader/writer strategy lock is exactly the
+# kind of claim the detector can refute); HA exercises real sockets,
+# elections, and concurrent sync streams; pgstate's shard stress drives one
+# table from many goroutines; plan snapshots a server that concurrent
+# queries are hammering. All see different interleavings run to run.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestMiss|TestParallel|TestQueryLogConcurrent|TestServerConcurrent|TestScopedChurn' ./internal/routeserver/
 	$(GO) test -race -count=2 ./internal/routeserver/ha/
 	$(GO) test -race -count=2 -run 'TestConcurrent' ./internal/pgstate/
 	$(GO) test -race -count=2 ./internal/routeserver/plan/
@@ -42,9 +44,10 @@ bench:
 # bench-smoke runs every benchmark exactly once — CI uses it to catch
 # benchmarks that no longer compile or that crash, without paying for
 # real measurement. BenchmarkE20RouteServer, BenchmarkE22ScopedInvalidation,
-# BenchmarkDaemonChurn, BenchmarkHAFailover, BenchmarkPGStateMillion, and
-# BenchmarkPlan also emit BENCH_*.json reports (untracked) as a
-# machine-readable side effect.
+# BenchmarkDaemonChurn, BenchmarkHAFailover, BenchmarkPGStateMillion,
+# BenchmarkPlan, and BenchmarkParallelSynth also emit BENCH_*.json reports
+# (untracked) as a machine-readable side effect; BENCH_parallelsynth.json
+# records miss QPS at GOMAXPROCS 1/2/4 against a calibrated slow strategy.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 

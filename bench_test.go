@@ -1186,3 +1186,85 @@ func planBenchWorld(b *testing.B, total, affected int) (*ad.Graph, *policy.DB, *
 	}
 	return g, db, srv
 }
+
+// slowSynth wraps a strategy with a calibrated per-search delay, standing
+// in for an expensive policy search so BenchmarkParallelSynth measures the
+// serving layer's lock structure rather than Dijkstra's constant factor:
+// sleeps overlap on any core count, so miss QPS scales with the worker
+// pool exactly when misses run concurrently.
+type slowSynth struct {
+	synthesis.Strategy
+	delay time.Duration
+}
+
+func (s slowSynth) Route(req policy.Request) (ad.Path, bool) {
+	time.Sleep(s.delay)
+	return s.Strategy.Route(req)
+}
+
+type parallelSynthPoint struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	MissQPS    float64 `json:"miss_qps"`
+}
+
+type parallelSynthReport struct {
+	CalibratedDelay string               `json:"calibrated_delay"`
+	DistinctKeys    int                  `json:"distinct_keys"`
+	Points          []parallelSynthPoint `json:"points"`
+	Scaling4Over1   float64              `json:"scaling_4_over_1"`
+}
+
+// BenchmarkParallelSynth pins the tentpole claim of the parallel miss
+// path: distinct-key miss throughput against a calibrated slow strategy at
+// GOMAXPROCS 1, 2, and 4 (the default worker pool sizes with it). The
+// report lands in BENCH_parallelsynth.json for the CI artifact glob.
+func BenchmarkParallelSynth(b *testing.B) {
+	topo, db := benchTopo()
+	const delay = 500 * time.Microsecond
+	seedReq := trafficgen.Generate(topo.Graph, trafficgen.Config{
+		Seed: benchSeed, Requests: 1, StubsOnly: true, Model: "zipf", ZipfS: 1.4,
+	})[0]
+	const keys = 64
+	reqs := make([]policy.Request, keys)
+	for i := range reqs {
+		r := seedReq
+		r.Hour = uint8(i % 24)
+		r.QOS = policy.QOS(i / 24)
+		reqs[i] = r
+	}
+
+	missQPS := func(procs int) float64 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		srv := routeserver.New(slowSynth{synthesis.NewOnDemand(topo.Graph, db), delay},
+			routeserver.Config{})
+		start := time.Now()
+		sink += len(routeserver.ServePhase(srv, reqs, keys))
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			return 0
+		}
+		return float64(srv.Snapshot().Misses) / el
+	}
+
+	rep := parallelSynthReport{CalibratedDelay: delay.String(), DistinctKeys: keys}
+	for i := 0; i < b.N; i++ {
+		rep.Points = rep.Points[:0]
+		for _, procs := range []int{1, 2, 4} {
+			rep.Points = append(rep.Points, parallelSynthPoint{
+				GOMAXPROCS: procs,
+				MissQPS:    missQPS(procs),
+			})
+		}
+	}
+	if rep.Points[0].MissQPS > 0 {
+		rep.Scaling4Over1 = rep.Points[2].MissQPS / rep.Points[0].MissQPS
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_parallelsynth.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_parallelsynth.json: %v", err)
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-seed N] [-parallel N] [-only table1|figure1|e1|...|e25] \
-//	            [-cpuprofile file] [-memprofile file]
+//	            [-cpuprofile file] [-memprofile file] \
+//	            [-blockprofile file] [-mutexprofile file]
 package main
 
 import (
@@ -32,9 +33,11 @@ func run() int {
 		"max concurrent experiment workers (1 = serial; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file on exit")
 	flag.Parse()
 
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *blockProfile, *mutexProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -93,9 +96,11 @@ func run() int {
 	return 0
 }
 
-// startProfiles begins CPU profiling and arranges a heap snapshot at stop
-// time. Empty paths disable the corresponding profile.
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+// startProfiles begins CPU profiling, enables block/mutex sampling when
+// those profiles are requested, and arranges heap/block/mutex snapshots at
+// stop time. Empty paths disable the corresponding profile; block and
+// mutex sampling stay off unless asked for (they tax the hot path).
+func startProfiles(cpuPath, memPath, blockPath, mutexPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -105,6 +110,26 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, err
+		}
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	writeLookup := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 	return func() {
@@ -124,5 +149,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}
+		writeLookup("block", blockPath)
+		writeLookup("mutex", mutexPath)
 	}, nil
 }

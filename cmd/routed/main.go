@@ -55,7 +55,8 @@
 //	       [-clients N] [-churn] [-cache N] [-shards N] [-workers N] \
 //	       [-qos N] [-uci N] [-bench-json file] \
 //	       [-state hard|soft|capped] [-state-ttl dur] [-state-cap N] \
-//	       [-cpuprofile file] [-memprofile file]
+//	       [-cpuprofile file] [-memprofile file] \
+//	       [-blockprofile file] [-mutexprofile file]
 package main
 
 import (
@@ -126,6 +127,8 @@ func run() int {
 		stateCap       = flag.Int("state-cap", 64, "per-PG handle capacity (-state capped)")
 		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile     = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		blockProfile   = flag.String("blockprofile", "", "write a pprof blocking profile to this file on exit")
+		mutexProfile   = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -171,7 +174,7 @@ func run() int {
 		return 2
 	}
 
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *blockProfile, *mutexProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -445,9 +448,11 @@ func writeNetJSON(path string, rep daemon.LoadReport) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// startProfiles begins CPU profiling and arranges a heap snapshot at stop
-// time. Empty paths disable the corresponding profile.
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+// startProfiles begins CPU profiling, enables block/mutex sampling when
+// those profiles are requested, and arranges heap/block/mutex snapshots at
+// stop time. Empty paths disable the corresponding profile; block and
+// mutex sampling stay off unless asked for (they tax the hot path).
+func startProfiles(cpuPath, memPath, blockPath, mutexPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -457,6 +462,26 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, err
+		}
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	writeLookup := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 	return func() {
@@ -476,6 +501,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}
+		writeLookup("block", blockPath)
+		writeLookup("mutex", mutexPath)
 	}, nil
 }
 

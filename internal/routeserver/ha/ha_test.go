@@ -568,3 +568,72 @@ func TestElectionDeterminism(t *testing.T) {
 		t.Fatal("lower-ID claim at the same epoch was not adopted")
 	}
 }
+
+// TestParallelMissStreamOrderConvergence pins the replication total-order
+// invariant under the parallel miss path: with misses synthesizing
+// concurrently on the primary, cache puts are sequenced into the backlog
+// by the insert sequencer and mutations order against them through the
+// write side of the strategy lock, so backlog order must equal apply
+// order. The teeth: after the run quiesces and the follower drains the
+// stream, the two cache dumps must be *identical* — an insert that raced
+// a mutation into the wrong stream position would leave an entry the
+// primary evicted resident on the follower (or vice versa), and this
+// map comparison would catch exactly that.
+func TestParallelMissStreamOrderConvergence(t *testing.T) {
+	g, db, workload := world(53, 300)
+	links := g.Links()
+	lat := links[len(links)-1]
+
+	reps := newGroup(t, 2, g, db, false,
+		func(g *ad.Graph, db *policy.DB) synthesis.Strategy {
+			return slowStrategy{synthesis.NewOnDemand(g, db), 20 * time.Microsecond}
+		}, nil)
+	prim, fol := reps[0], reps[1]
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := c; i < len(workload); i += 4 {
+					prim.be.Query(workload[i])
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, _, _, err := prim.be.Fail(lat.A, lat.B); err != nil {
+				panic(err)
+			}
+			if _, _, err := prim.be.Restore(lat.A, lat.B); err != nil {
+				panic(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	waitFor(t, 10*time.Second, func() bool { return synced(prim, fol) }, "follower convergence")
+
+	pd, fd := dumpMap(prim.srv), dumpMap(fol.srv)
+	if len(pd) == 0 {
+		t.Fatal("primary served nothing")
+	}
+	if len(pd) != len(fd) {
+		t.Fatalf("dumps diverged: primary %d entries, follower %d", len(pd), len(fd))
+	}
+	for k, res := range pd {
+		fres, ok := fd[k]
+		if !ok {
+			t.Fatalf("follower missing entry %v", k)
+		}
+		if fres.Found != res.Found || (res.Found && !fres.Path.Equal(res.Path)) {
+			t.Fatalf("entry %v diverged: primary %+v, follower %+v", k, res, fres)
+		}
+	}
+}

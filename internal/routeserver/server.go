@@ -11,8 +11,12 @@
 //     rest of the cache keeps serving with zero recomputation,
 //   - singleflight request coalescing, so concurrent misses for the same
 //     key trigger exactly one synthesis,
-//   - a bounded worker pool for miss computation (strategies themselves
-//     are single-threaded; the pool bounds queued synthesis work),
+//   - a reader/writer strategy lock: misses for distinct keys synthesize
+//     concurrently on the strategy's read plane (Route/Footprint are
+//     concurrent-safe; see synthesis.Strategy), while mutations and
+//     rebuilds take the write side and run exclusively,
+//   - a bounded worker pool for miss computation, charged only for the
+//     search itself — never for time spent waiting on a lock,
 //   - an atomic server-metrics layer: query/hit/miss/coalesce counters and
 //     a latency histogram with p50/p95/p99.
 //
@@ -362,62 +366,83 @@ func (s MetricsSnapshot) HitRate() float64 {
 // any number of goroutines; Invalidate/Mutate may run concurrently with
 // queries.
 type Server struct {
-	cfg      Config
-	gen      atomic.Uint64
-	epoch    atomic.Uint64 // coalescing scope; bumped by full AND scoped mutations
-	shards   []shard
-	mask     uint32
-	met      Metrics
-	workers  chan struct{}
-	sfMu     sync.Mutex
-	sfCalls  map[sfKey]*call
-	stratMu  sync.Mutex // serializes strategy calls and invalidation mutations
+	cfg     Config
+	gen     atomic.Uint64
+	epoch   atomic.Uint64 // coalescing scope; bumped by full AND scoped mutations
+	shards  []shard
+	mask    uint32
+	met     Metrics
+	workers chan struct{}
+	sfMu    sync.Mutex
+	sfCalls map[sfKey]*call
+	// stratMu splits the strategy into a concurrent-read plane and an
+	// exclusive-write plane: misses hold the read side while they search
+	// (synthesis.Strategy's Route/Footprint/Stats are concurrent-safe),
+	// mutations and rebuilds hold the write side. The generation and epoch
+	// advance only under the write side, so a read-side holder sees both
+	// frozen for the duration of its hold.
+	stratMu sync.RWMutex
+	// seqMu sequences cache inserts and the OnInsert hook among concurrent
+	// read-side holders, so HA replication observes puts in one total
+	// order; mutations order against inserts through stratMu itself (the
+	// write side drains every reader first). Lock order is
+	// stratMu(R) → seqMu → shard.mu, nowhere reversed.
+	seqMu    sync.Mutex
 	strategy synthesis.Strategy
 	onInsert func(Key, Result, synthesis.Footprint)
 	qlog     queryLog
 }
 
-// queryLog is the bounded ring of recent queries (Config.QueryLog). buf is
-// sized once at construction and never resized, so its length may be read
-// without the mutex.
+// queryLog is the bounded ring of recent queries (Config.QueryLog). The
+// cursor is an atomic ticket counter and each slot an atomic pointer, so
+// hot-path queries never contend on a log lock: record is one atomic add
+// plus one pointer store. buf is sized once at construction and never
+// resized, so its length may be read without synchronization.
+//
+// Serially the semantics match the old mutex ring exactly: the last
+// len(buf) requests in arrival order, oldest first. Under concurrent
+// recording "arrival order" is ticket order; a reader racing writers may
+// observe a slot whose store has not landed yet (skipped) or one already
+// overwritten by a newer request (still a recent query, surfaced slightly
+// early) — recent() is a workload sample, not a transaction log, and the
+// plan engine tolerates both.
 type queryLog struct {
-	mu   sync.Mutex
-	buf  []policy.Request
-	next int
-	full bool
+	next atomic.Uint64
+	buf  []atomic.Pointer[policy.Request]
 }
 
 func (q *queryLog) record(req policy.Request) {
 	if len(q.buf) == 0 {
 		return
 	}
-	q.mu.Lock()
-	q.buf[q.next] = req
-	q.next++
-	if q.next == len(q.buf) {
-		q.next, q.full = 0, true
-	}
-	q.mu.Unlock()
+	t := q.next.Add(1) - 1
+	r := req
+	q.buf[t%uint64(len(q.buf))].Store(&r)
 }
 
 func (q *queryLog) recent() []policy.Request {
-	if len(q.buf) == 0 {
+	n := uint64(len(q.buf))
+	if n == 0 {
 		return nil
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.full {
-		return append([]policy.Request(nil), q.buf[:q.next]...)
+	t := q.next.Load()
+	start := uint64(0)
+	if t > n {
+		start = t - n
 	}
-	out := make([]policy.Request, 0, len(q.buf))
-	out = append(out, q.buf[q.next:]...)
-	out = append(out, q.buf[:q.next]...)
+	var out []policy.Request
+	for i := start; i < t; i++ {
+		if p := q.buf[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
 	return out
 }
 
 // New wraps the strategy in a serving layer. The strategy must not be used
-// directly while the server is live: the server owns it (strategies are
-// single-threaded; the server serializes access).
+// directly while the server is live: the server owns it, driving the
+// concurrent read plane from miss computations and taking exclusive access
+// for every mutation (see synthesis.Strategy for the two-plane contract).
 func New(strategy synthesis.Strategy, cfg Config) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
@@ -451,7 +476,7 @@ func New(strategy synthesis.Strategy, cfg Config) *Server {
 		}
 	}
 	if cfg.QueryLog > 0 {
-		s.qlog.buf = make([]policy.Request, cfg.QueryLog)
+		s.qlog.buf = make([]atomic.Pointer[policy.Request], cfg.QueryLog)
 	}
 	return s
 }
@@ -497,8 +522,10 @@ func (s *Server) lookup(k Key, gen uint64) (Result, bool) {
 
 // insert stores a computed result tagged with the generation it was
 // computed under and indexes its dependency footprint. Every caller loads
-// gen under stratMu and inserts under the same hold, so gen is always the
-// current generation and the new entry always joins the live count.
+// gen while holding at least the read side of stratMu and inserts under
+// the same hold; the generation advances only under the write side, so gen
+// is always the current generation and the new entry always joins the live
+// count.
 func (s *Server) insert(k Key, gen uint64, res Result, fp synthesis.Footprint) {
 	sh := &s.shards[k.hash()&s.mask]
 	sh.mu.Lock()
@@ -576,40 +603,52 @@ func (s *Server) coalesce(key sfKey, req policy.Request) (Result, bool) {
 	return c.res, true
 }
 
-// compute runs one synthesis under a worker slot and the strategy lock,
-// then caches the result (negative results too — repeated queries for an
-// unroutable pair must not re-run the search) under the generation current
-// at computation time. The insert happens while still holding stratMu: a
-// scoped eviction also runs under stratMu, so every in-flight result is
-// either indexed before the eviction scans (and evicted if dependent) or
-// computed after the mutation (and already post-change) — never a stale
-// result landing behind a completed scoped eviction. Lock order is
-// stratMu → shard.mu, nowhere reversed.
+// compute runs one synthesis on the strategy's read plane, then caches the
+// result (negative results too — repeated queries for an unroutable pair
+// must not re-run the search) under the generation current at computation
+// time. Any number of computations for distinct keys run concurrently; a
+// mutation takes the write side of stratMu and therefore waits for every
+// in-flight search, so every in-flight result is either indexed before a
+// scoped eviction scans (and evicted if dependent) or computed after the
+// mutation (and already post-change) — never a stale result landing behind
+// a completed scoped eviction. The insert and the OnInsert hook run under
+// seqMu while still holding the read side: inserts form one total order
+// among themselves, and order against mutations through stratMu, so HA
+// replication replays puts and control mutations in stream order.
+//
+// Unlock via defer throughout: a panicking strategy must not leave the
+// strategy lock held, or every later query and mutation would deadlock.
 func (s *Server) compute(req policy.Request) Result {
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
+	gen := s.gen.Load() // frozen for this hold: gen advances only write-side
+	res, fp := s.search(req)
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	s.insert(KeyOf(req), gen, res, fp)
+	if s.onInsert != nil {
+		s.onInsert(KeyOf(req), res, fp)
+	}
+	return res
+}
+
+// search runs the strategy search and footprint extraction under a worker
+// slot. The slot is acquired here — after the strategy lock, around the
+// search alone — so the pool bounds actual synthesis work; goroutines
+// blocked on a lock hold no slot. Caller holds the read side of stratMu.
+func (s *Server) search(req policy.Request) (Result, synthesis.Footprint) {
 	s.workers <- struct{}{}
 	defer func() { <-s.workers }()
 
-	// Unlock via defer: a panicking strategy must not leave the strategy
-	// lock held, or every later query and mutation would deadlock.
-	s.stratMu.Lock()
-	defer s.stratMu.Unlock()
-	gen := s.gen.Load() // the generation this computation's view belongs to
 	synthStart := time.Now()
+	defer func() { s.met.synthLat.Observe(time.Since(synthStart)) }()
 	path, found := s.strategy.Route(req)
 	res := Result{Path: path, Found: found}
 	var fp synthesis.Footprint
 	if found {
 		fp = s.strategy.Footprint(req, path)
 	}
-	s.met.synthLat.Observe(time.Since(synthStart))
-	s.insert(KeyOf(req), gen, res, fp)
-	if s.onInsert != nil {
-		// Still under stratMu: the hook observes inserts and mutations
-		// (MutateScoped also holds stratMu) in one total order, which is
-		// what lets HA replication replay them in stream order.
-		s.onInsert(KeyOf(req), res, fp)
-	}
-	return res
+	return res, fp
 }
 
 // Invalidate reacts to a topology or policy change: it bumps the cache
@@ -662,7 +701,8 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 		return 0, 0
 	}
 	// New queries must not join pre-mutation in-flight computations; those
-	// finish under stratMu and are therefore indexed before this point.
+	// finish under the read side of stratMu — which acquiring the write
+	// side drained — and are therefore indexed before this point.
 	s.epoch.Add(1)
 	gen := s.gen.Load()
 	for i := range s.shards {
@@ -679,12 +719,13 @@ func (s *Server) MutateScoped(ch synthesis.Change, fn func()) (evicted, retained
 	return evicted, retained
 }
 
-// OnInsert registers a hook called — under the strategy lock, in the same
-// total order as scoped mutations — every time a computed result is
-// inserted into the cache. HA replication uses it to append cache puts to
-// the sync backlog; entries installed via InstallEntry do not fire it (a
-// follower must not re-replicate what it is replaying). Set it before the
-// server starts serving.
+// OnInsert registers a hook called — under the insert sequencer, in one
+// total order with every other insert, and ordered against mutations by
+// the strategy lock — every time a computed result is inserted into the
+// cache. HA replication uses it to append cache puts to the sync backlog;
+// entries installed via InstallEntry do not fire it (a follower must not
+// re-replicate what it is replaying). Set it before the server starts
+// serving.
 func (s *Server) OnInsert(fn func(Key, Result, synthesis.Footprint)) {
 	s.stratMu.Lock()
 	defer s.stratMu.Unlock()
@@ -702,21 +743,24 @@ type CacheEntry struct {
 }
 
 // InstallEntry inserts a replicated entry at the current generation,
-// indexing its footprint exactly as a computed result would be. It takes
-// the strategy lock so installs serialize with queries and mutations; the
-// OnInsert hook does not fire.
+// indexing its footprint exactly as a computed result would be: read side
+// of the strategy lock (so installs order against mutations) plus the
+// insert sequencer (so they order against concurrent computed inserts).
+// The OnInsert hook does not fire.
 func (s *Server) InstallEntry(k Key, res Result, fp synthesis.Footprint) {
-	s.stratMu.Lock()
-	defer s.stratMu.Unlock()
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	s.insert(k, s.gen.Load(), res, fp)
 }
 
-// DumpEntries copies every current-generation cache entry under the
-// strategy lock, so the dump is a consistent cut: no mutation or insert
-// can interleave with it. fn (optional) runs first under the same lock
-// hold — HA replication uses it to record the sync-backlog position the
-// cut corresponds to, making snapshot + subsequent incremental entries
-// seamless.
+// DumpEntries copies every current-generation cache entry under the write
+// side of the strategy lock — draining every in-flight miss — so the dump
+// is a consistent cut: no mutation or insert can interleave with it. fn
+// (optional) runs first under the same lock hold — HA replication uses it
+// to record the sync-backlog position the cut corresponds to, making
+// snapshot + subsequent incremental entries seamless.
 func (s *Server) DumpEntries(fn func()) []CacheEntry {
 	s.stratMu.Lock()
 	defer s.stratMu.Unlock()
@@ -744,19 +788,24 @@ func (s *Server) DumpEntries(fn func()) []CacheEntry {
 }
 
 // CollectAffected is the read-only half of scoped invalidation, built for
-// the what-if plan engine. It runs prepare under the strategy lock — the
-// engine uses it to clone the graph/policy state and derive the batch's
-// changes from one consistent cut — then resolves each returned change's
-// victims through the same reverse indexes and soundness rules evictScoped
-// applies, without deleting anything. It returns the victim entries per
-// change (current generation only; stale leftovers of an old full bump are
-// dead weight, not predicted work), the live current-generation entry
-// count, and the epoch/generation the snapshot corresponds to. Nothing a
-// query can observe is mutated, and the cost is proportional to the
-// changes' blast radius (index fan-out), not to the cache size.
+// the what-if plan engine. It runs prepare under the read side of the
+// strategy lock — the engine uses it to clone the graph/policy state and
+// derive the batch's changes from a cut no mutation can move (the epoch
+// guard catches any mutation that lands after) — then resolves each
+// returned change's victims through the same reverse indexes and soundness
+// rules evictScoped applies, without deleting anything. Holding only the
+// read side means concurrent queries keep being served, including misses;
+// a routine fill landing mid-scan is invisible to the prediction, exactly
+// as a fill landing between plan and commit always was (fills bump no
+// epoch). It returns the victim entries per change (current generation
+// only; stale leftovers of an old full bump are dead weight, not predicted
+// work), the live current-generation entry count, and the epoch/generation
+// the snapshot corresponds to. Nothing a query can observe is mutated, and
+// the cost is proportional to the changes' blast radius (index fan-out),
+// not to the cache size.
 func (s *Server) CollectAffected(prepare func() ([]synthesis.Change, error)) (perChange [][]CacheEntry, live int, epoch, gen uint64, err error) {
-	s.stratMu.Lock()
-	defer s.stratMu.Unlock()
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
 	changes, err := prepare()
 	if err != nil {
 		return nil, 0, 0, 0, err
@@ -785,9 +834,11 @@ func (s *Server) CollectAffected(prepare func() ([]synthesis.Change, error)) (pe
 }
 
 // StrategyStats returns the wrapped strategy's cumulative instrumentation.
+// Stats is on the strategy's read plane, so the read side suffices: the
+// snapshot never shears against a rebuild.
 func (s *Server) StrategyStats() synthesis.StrategyStats {
-	s.stratMu.Lock()
-	defer s.stratMu.Unlock()
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
 	return s.strategy.Stats()
 }
 

@@ -1,0 +1,160 @@
+package synthesis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ad"
+	"repro/internal/cache"
+)
+
+// counters is the concurrent-read-plane half of StrategyStats: every field
+// Route touches is an atomic, so any number of goroutines can search (and
+// account their work) at once while Stats merges a snapshot. Cumulative
+// counters survive Invalidate by construction — there is nothing to carry
+// forward, the atomics are simply never reset — which keeps the semantics
+// TestInvalidatePreservesStats pins. CacheEntries and Evictions are
+// per-table state, recomputed from the tables at each Stats call.
+type counters struct {
+	precompute atomic.Int64
+	onDemand   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	failures   atomic.Int64
+}
+
+// snapshot merges the counters into a StrategyStats; the caller fills in
+// CacheEntries/Evictions from its tables.
+func (c *counters) snapshot() StrategyStats {
+	return StrategyStats{
+		PrecomputeExpansions: int(c.precompute.Load()),
+		OnDemandExpansions:   int(c.onDemand.Load()),
+		Hits:                 int(c.hits.Load()),
+		Misses:               int(c.misses.Load()),
+		Failures:             int(c.failures.Load()),
+	}
+}
+
+// demandShardCount shards the unbounded demand cache; must be a power of
+// two so shard selection is a mask.
+const demandShardCount = 16
+
+// demandCache is the concurrent demand-fill cache behind Pruned and
+// Hybrid: a sharded LRU with per-shard locks, so concurrent misses fill
+// (and concurrent refills probe) without a global lock. When a DemandCap
+// bounds the cache it collapses to a single shard: the global LRU eviction
+// order is observable semantics (eviction counts are asserted exactly), and
+// per-shard caps would change which entries die under pressure.
+//
+// Reads and writes on the route plane (get/put) are internally locked and
+// safe from any number of goroutines. The write-plane operations
+// (purge/dropAffected) take the same shard locks, but the caller is
+// expected to hold the serving layer's exclusive lock so the table and
+// demand cache mutate as one unit.
+type demandCache struct {
+	shards []demandShard
+	mask   uint32
+}
+
+type demandShard struct {
+	mu  sync.Mutex
+	lru *cache.LRU[cacheKey, ad.Path]
+}
+
+func newDemandCache(capacity int) *demandCache {
+	n := demandShardCount
+	if capacity > 0 {
+		n = 1
+	}
+	d := &demandCache{shards: make([]demandShard, n), mask: uint32(n - 1)}
+	for i := range d.shards {
+		d.shards[i].lru = cache.NewLRU[cacheKey, ad.Path](capacity)
+	}
+	return d
+}
+
+// hash is FNV-1a over the key's fields, used to pick a shard.
+func (k cacheKey) hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for _, v := range []uint32{uint32(k.src), uint32(k.dst)} {
+		mix(byte(v))
+		mix(byte(v >> 8))
+		mix(byte(v >> 16))
+		mix(byte(v >> 24))
+	}
+	mix(byte(k.qos))
+	mix(byte(k.uci))
+	return h
+}
+
+func (d *demandCache) shard(k cacheKey) *demandShard {
+	return &d.shards[k.hash()&d.mask]
+}
+
+func (d *demandCache) get(k cacheKey) (ad.Path, bool) {
+	sh := d.shard(k)
+	sh.mu.Lock()
+	p, ok := sh.lru.Get(k)
+	sh.mu.Unlock()
+	return p, ok
+}
+
+func (d *demandCache) put(k cacheKey, p ad.Path) {
+	sh := d.shard(k)
+	sh.mu.Lock()
+	sh.lru.Put(k, p)
+	sh.mu.Unlock()
+}
+
+func (d *demandCache) len() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// evictions sums capacity evictions across shards. The per-LRU counters
+// survive Purge, so the total is cumulative across Invalidate.
+func (d *demandCache) evictions() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Evictions()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (d *demandCache) purge() {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		sh.lru.Purge()
+		sh.mu.Unlock()
+	}
+}
+
+// dropAffected evicts demand-cached routes the change can affect. Demand
+// caches hold positive results only, so AffectsNegative is moot here: a
+// dropped key is simply recomputed on next demand.
+func (d *demandCache) dropAffected(c Change) {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for _, k := range sh.lru.Keys() {
+			if p, ok := sh.lru.Peek(k); ok && c.AffectsPath(p) {
+				sh.lru.Delete(k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -2,7 +2,6 @@ package synthesis
 
 import (
 	"repro/internal/ad"
-	"repro/internal/cache"
 	"repro/internal/policy"
 )
 
@@ -24,30 +23,34 @@ type StrategyStats struct {
 	Evictions int
 }
 
-// carryForward returns the stats to start from after a table rebuild: every
-// cumulative counter survives; CacheEntries is per-table state and resets
-// until the next Stats call recomputes it. All strategies share this
-// semantics, asserted by TestInvalidatePreservesStats.
-func carryForward(prev StrategyStats) StrategyStats {
-	prev.CacheEntries = 0
-	return prev
-}
-
 // Strategy is a route synthesis strategy: given a traffic request, produce a
 // legal route, accounting the work performed.
+//
+// The contract has two planes. The read plane — Route, Footprint, Stats,
+// Name — is safe for any number of concurrent goroutines: routes are
+// resolved against the strategy's current tables, demand fills land in
+// internally locked sharded caches, and counters are atomics merged on
+// read. The write plane — Invalidate and InvalidateScoped — rebuilds those
+// tables and requires exclusive access: no read-plane call may be in
+// flight while a write-plane call runs. The serving layer enforces this
+// with a sync.RWMutex (misses hold the read side, mutations the write
+// side); code driving a strategy directly must provide the same exclusion.
 type Strategy interface {
 	// Route returns a legal route for req, or false if none exists.
+	// Read plane: safe to call concurrently.
 	Route(req policy.Request) (ad.Path, bool)
-	// Stats returns cumulative instrumentation.
+	// Stats returns cumulative instrumentation. Read plane.
 	Stats() StrategyStats
 	// Invalidate discards cached state after a topology/policy change.
+	// Write plane: requires exclusive access. Cumulative counters survive;
+	// CacheEntries reflects the rebuilt tables at the next Stats call.
 	Invalidate()
 	// InvalidateScoped discards only cached state the change can affect;
 	// a ChangeFull is equivalent to Invalidate. Recompute work is charged
-	// to PrecomputeExpansions.
+	// to PrecomputeExpansions. Write plane: requires exclusive access.
 	InvalidateScoped(c Change)
 	// Footprint reports the dependency set of a route this strategy
-	// returned for req.
+	// returned for req. Read plane: safe to call concurrently.
 	Footprint(req policy.Request, path ad.Path) Footprint
 	// Name identifies the strategy in reports.
 	Name() string
@@ -57,6 +60,7 @@ type Strategy interface {
 // change cannot touch are kept as-is; affected entries are recomputed in
 // place (deleted if the route vanished), and absent entries are computed
 // when the change broadens what is routable. Returns the search work done.
+// Write plane only: it mutates the table without locking.
 func refill(g *ad.Graph, db *policy.DB, table map[cacheKey]ad.Path, req policy.Request, c Change) int {
 	k := keyOf(req)
 	p, exists := table[k]
@@ -75,24 +79,13 @@ func refill(g *ad.Graph, db *policy.DB, table map[cacheKey]ad.Path, req policy.R
 	return res.Expanded
 }
 
-// dropAffected evicts demand-cached routes the change can affect. Demand
-// caches hold positive results only, so AffectsNegative is moot here: a
-// dropped key is simply recomputed on next demand.
-func dropAffected(demand *cache.LRU[cacheKey, ad.Path], c Change) {
-	for _, k := range demand.Keys() {
-		if p, ok := demand.Peek(k); ok && c.AffectsPath(p) {
-			demand.Delete(k)
-		}
-	}
-}
-
 // OnDemand computes every route at request time: minimal state, maximal
 // setup latency (the paper: "on demand computation may introduce excessive
 // latency at setup time", §5.4.1).
 type OnDemand struct {
-	g     *ad.Graph
-	db    *policy.DB
-	stats StrategyStats
+	g   *ad.Graph
+	db  *policy.DB
+	ctr counters
 }
 
 // NewOnDemand returns an on-demand strategy over the given view.
@@ -106,20 +99,21 @@ func (s *OnDemand) Name() string { return "on-demand" }
 // Route implements Strategy.
 func (s *OnDemand) Route(req policy.Request) (ad.Path, bool) {
 	res := FindRoute(s.g, s.db, req)
-	s.stats.OnDemandExpansions += res.Expanded
-	s.stats.Misses++
+	s.ctr.onDemand.Add(int64(res.Expanded))
+	s.ctr.misses.Add(1)
 	if !res.Found {
-		s.stats.Failures++
+		s.ctr.failures.Add(1)
 		return nil, false
 	}
 	return res.Path, true
 }
 
 // Stats implements Strategy.
-func (s *OnDemand) Stats() StrategyStats { return s.stats }
+func (s *OnDemand) Stats() StrategyStats { return s.ctr.snapshot() }
 
-// Invalidate implements Strategy (no cached state).
-func (s *OnDemand) Invalidate() { s.stats = carryForward(s.stats) }
+// Invalidate implements Strategy (no cached state; cumulative counters
+// survive).
+func (s *OnDemand) Invalidate() {}
 
 // InvalidateScoped implements Strategy (no cached state to scope).
 func (s *OnDemand) InvalidateScoped(c Change) {
@@ -152,11 +146,14 @@ func keyOf(req policy.Request) cacheKey {
 // computationally intractable", §5.4.1 — this strategy makes that cost
 // measurable).
 type Precomputed struct {
-	g     *ad.Graph
-	db    *policy.DB
-	reqs  []policy.Request
+	g    *ad.Graph
+	db   *policy.DB
+	reqs []policy.Request
+	// table is read concurrently by Route and replaced wholesale only on
+	// the write plane; map reads need no lock as long as the caller keeps
+	// the planes exclusive.
 	table map[cacheKey]ad.Path
-	stats StrategyStats
+	ctr   counters
 }
 
 // NewPrecomputed builds the table for the given request population.
@@ -170,12 +167,11 @@ func (s *Precomputed) build() {
 	s.table = make(map[cacheKey]ad.Path, len(s.reqs))
 	for _, req := range s.reqs {
 		res := FindRoute(s.g, s.db, req)
-		s.stats.PrecomputeExpansions += res.Expanded
+		s.ctr.precompute.Add(int64(res.Expanded))
 		if res.Found {
 			s.table[keyOf(req)] = res.Path
 		}
 	}
-	s.stats.CacheEntries = len(s.table)
 }
 
 // Name implements Strategy.
@@ -184,23 +180,23 @@ func (s *Precomputed) Name() string { return "precomputed" }
 // Route implements Strategy.
 func (s *Precomputed) Route(req policy.Request) (ad.Path, bool) {
 	if p, ok := s.table[keyOf(req)]; ok {
-		s.stats.Hits++
+		s.ctr.hits.Add(1)
 		return p, true
 	}
-	s.stats.Misses++
-	s.stats.Failures++
+	s.ctr.misses.Add(1)
+	s.ctr.failures.Add(1)
 	return nil, false
 }
 
 // Stats implements Strategy.
 func (s *Precomputed) Stats() StrategyStats {
-	s.stats.CacheEntries = len(s.table)
-	return s.stats
+	st := s.ctr.snapshot()
+	st.CacheEntries = len(s.table)
+	return st
 }
 
 // Invalidate rebuilds the whole table, charging precompute work again.
 func (s *Precomputed) Invalidate() {
-	s.stats = carryForward(s.stats)
 	s.build()
 }
 
@@ -212,9 +208,8 @@ func (s *Precomputed) InvalidateScoped(c Change) {
 		return
 	}
 	for _, req := range s.reqs {
-		s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+		s.ctr.precompute.Add(int64(refill(s.g, s.db, s.table, req, c)))
 	}
-	s.stats.CacheEntries = len(s.table)
 }
 
 // Footprint implements Strategy.
@@ -265,8 +260,8 @@ type Pruned struct {
 	// HopRadius mirrors cfg.HopRadius for report labelling.
 	HopRadius int
 	table     map[cacheKey]ad.Path
-	demand    *cache.LRU[cacheKey, ad.Path]
-	stats     StrategyStats
+	demand    *demandCache
+	ctr       counters
 }
 
 // NewPruned builds the pruned-precompute strategy for the given sources with
@@ -281,7 +276,7 @@ func NewPrunedConfig(g *ad.Graph, db *policy.DB, srcs []ad.ID, cfg PrunedConfig)
 	cfg = cfg.normalize()
 	s := &Pruned{
 		g: g, db: db, srcs: srcs, cfg: cfg, HopRadius: cfg.HopRadius,
-		demand: cache.NewLRU[cacheKey, ad.Path](cfg.DemandCap),
+		demand: newDemandCache(cfg.DemandCap),
 	}
 	s.build()
 	return s
@@ -322,7 +317,7 @@ func (s *Pruned) build() {
 						QOS: policy.QOS(qos), UCI: policy.UCI(uci),
 					}
 					res := FindRoute(s.g, s.db, req)
-					s.stats.PrecomputeExpansions += res.Expanded
+					s.ctr.precompute.Add(int64(res.Expanded))
 					if res.Found {
 						s.table[keyOf(req)] = res.Path
 					}
@@ -330,7 +325,6 @@ func (s *Pruned) build() {
 			}
 		}
 	}
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
 }
 
 // Name implements Strategy.
@@ -340,35 +334,35 @@ func (s *Pruned) Name() string { return "pruned" }
 func (s *Pruned) Route(req policy.Request) (ad.Path, bool) {
 	k := keyOf(req)
 	if p, ok := s.table[k]; ok {
-		s.stats.Hits++
+		s.ctr.hits.Add(1)
 		return p, true
 	}
-	if p, ok := s.demand.Get(k); ok {
-		s.stats.Hits++
+	if p, ok := s.demand.get(k); ok {
+		s.ctr.hits.Add(1)
 		return p, true
 	}
-	s.stats.Misses++
+	s.ctr.misses.Add(1)
 	res := FindRoute(s.g, s.db, req)
-	s.stats.OnDemandExpansions += res.Expanded
+	s.ctr.onDemand.Add(int64(res.Expanded))
 	if !res.Found {
-		s.stats.Failures++
+		s.ctr.failures.Add(1)
 		return nil, false
 	}
-	s.demand.Put(k, res.Path)
+	s.demand.put(k, res.Path)
 	return res.Path, true
 }
 
 // Stats implements Strategy.
 func (s *Pruned) Stats() StrategyStats {
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
-	s.stats.Evictions = s.demand.Evictions()
-	return s.stats
+	st := s.ctr.snapshot()
+	st.CacheEntries = len(s.table) + s.demand.len()
+	st.Evictions = s.demand.evictions()
+	return st
 }
 
 // Invalidate rebuilds the neighbourhood tables and drops demand fills.
 func (s *Pruned) Invalidate() {
-	s.stats = carryForward(s.stats)
-	s.demand.Purge()
+	s.demand.purge()
 	s.build()
 }
 
@@ -392,7 +386,7 @@ func (s *Pruned) InvalidateScoped(c Change) {
 						QOS: policy.QOS(qos), UCI: policy.UCI(uci),
 					}
 					seen[keyOf(req)] = true
-					s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+					s.ctr.precompute.Add(int64(refill(s.g, s.db, s.table, req, c)))
 				}
 			}
 		}
@@ -402,8 +396,7 @@ func (s *Pruned) InvalidateScoped(c Change) {
 			delete(s.table, k)
 		}
 	}
-	dropAffected(s.demand, c)
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+	s.demand.dropAffected(c)
 }
 
 // Footprint implements Strategy.
@@ -420,8 +413,8 @@ type Hybrid struct {
 	db     *policy.DB
 	hot    []policy.Request
 	table  map[cacheKey]ad.Path
-	demand *cache.LRU[cacheKey, ad.Path]
-	stats  StrategyStats
+	demand *demandCache
+	ctr    counters
 }
 
 // NewHybrid builds the hot-set table with an unbounded demand cache.
@@ -435,7 +428,7 @@ func NewHybrid(g *ad.Graph, db *policy.DB, hot []policy.Request) *Hybrid {
 // StrategyStats.
 func NewHybridCapped(g *ad.Graph, db *policy.DB, hot []policy.Request, demandCap int) *Hybrid {
 	s := &Hybrid{g: g, db: db, hot: hot,
-		demand: cache.NewLRU[cacheKey, ad.Path](demandCap)}
+		demand: newDemandCache(demandCap)}
 	s.build()
 	return s
 }
@@ -444,12 +437,11 @@ func (s *Hybrid) build() {
 	s.table = make(map[cacheKey]ad.Path, len(s.hot))
 	for _, req := range s.hot {
 		res := FindRoute(s.g, s.db, req)
-		s.stats.PrecomputeExpansions += res.Expanded
+		s.ctr.precompute.Add(int64(res.Expanded))
 		if res.Found {
 			s.table[keyOf(req)] = res.Path
 		}
 	}
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
 }
 
 // Name implements Strategy.
@@ -459,36 +451,36 @@ func (s *Hybrid) Name() string { return "hybrid" }
 func (s *Hybrid) Route(req policy.Request) (ad.Path, bool) {
 	k := keyOf(req)
 	if p, ok := s.table[k]; ok {
-		s.stats.Hits++
+		s.ctr.hits.Add(1)
 		return p, true
 	}
-	if p, ok := s.demand.Get(k); ok {
-		s.stats.Hits++
+	if p, ok := s.demand.get(k); ok {
+		s.ctr.hits.Add(1)
 		return p, true
 	}
-	s.stats.Misses++
+	s.ctr.misses.Add(1)
 	res := FindRoute(s.g, s.db, req)
-	s.stats.OnDemandExpansions += res.Expanded
+	s.ctr.onDemand.Add(int64(res.Expanded))
 	if !res.Found {
-		s.stats.Failures++
+		s.ctr.failures.Add(1)
 		return nil, false
 	}
 	// Demand-filled entries serve later requests from the cache.
-	s.demand.Put(k, res.Path)
+	s.demand.put(k, res.Path)
 	return res.Path, true
 }
 
 // Stats implements Strategy.
 func (s *Hybrid) Stats() StrategyStats {
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
-	s.stats.Evictions = s.demand.Evictions()
-	return s.stats
+	st := s.ctr.snapshot()
+	st.CacheEntries = len(s.table) + s.demand.len()
+	st.Evictions = s.demand.evictions()
+	return st
 }
 
 // Invalidate drops demand-filled entries and rebuilds the hot set.
 func (s *Hybrid) Invalidate() {
-	s.stats = carryForward(s.stats)
-	s.demand.Purge()
+	s.demand.purge()
 	s.build()
 }
 
@@ -500,10 +492,9 @@ func (s *Hybrid) InvalidateScoped(c Change) {
 		return
 	}
 	for _, req := range s.hot {
-		s.stats.PrecomputeExpansions += refill(s.g, s.db, s.table, req, c)
+		s.ctr.precompute.Add(int64(refill(s.g, s.db, s.table, req, c)))
 	}
-	dropAffected(s.demand, c)
-	s.stats.CacheEntries = len(s.table) + s.demand.Len()
+	s.demand.dropAffected(c)
 }
 
 // Footprint implements Strategy.
